@@ -1,0 +1,128 @@
+// Micro-benchmarks (google-benchmark) of the substrates: engine message
+// throughput, relation insert/probe, Value operations and PQL parsing.
+// These calibrate the absolute numbers behind the relative overheads in
+// the paper-table benches (see EXPERIMENTS.md on why our baseline is far
+// faster per message than Giraph's).
+
+#include <benchmark/benchmark.h>
+
+#include "core/ariadne.h"
+
+namespace ariadne {
+namespace {
+
+/// Floods all out-edges every superstep for a fixed number of rounds.
+class FloodProgram final : public VertexProgram<double, double> {
+ public:
+  explicit FloodProgram(Superstep rounds) : rounds_(rounds) {}
+  double InitialValue(VertexId, const Graph&) const override { return 0; }
+  void Compute(VertexContext<double, double>& ctx,
+               std::span<const double> messages) override {
+    double sum = 0;
+    for (double m : messages) sum += m;
+    ctx.SetValue(sum);
+    if (ctx.superstep() < rounds_) {
+      ctx.SendToAllOutNeighbors(1.0);
+    } else {
+      ctx.VoteToHalt();
+    }
+  }
+
+ private:
+  Superstep rounds_;
+};
+
+void BM_EngineMessageThroughput(benchmark::State& state) {
+  auto graph = GenerateRmat({.scale = 10, .avg_degree = 16, .seed = 1});
+  ARIADNE_CHECK(graph.ok());
+  int64_t messages = 0;
+  for (auto _ : state) {
+    FloodProgram program(4);
+    Engine<double, double> engine(&*graph);
+    auto stats = engine.Run(program);
+    ARIADNE_CHECK(stats.ok());
+    messages += stats->total_messages;
+  }
+  state.SetItemsProcessed(messages);
+}
+BENCHMARK(BM_EngineMessageThroughput);
+
+void BM_PageRankSuperstep(benchmark::State& state) {
+  auto graph = GenerateRmat({.scale = 11, .avg_degree = 16, .seed = 2});
+  ARIADNE_CHECK(graph.ok());
+  for (auto _ : state) {
+    PageRankProgram program({.iterations = 5});
+    Engine<double, double> engine(&*graph);
+    ARIADNE_CHECK(engine.Run(program).ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 6 * graph->num_vertices());
+}
+BENCHMARK(BM_PageRankSuperstep);
+
+void BM_RelationInsert(benchmark::State& state) {
+  for (auto _ : state) {
+    Relation rel(3);
+    for (int64_t i = 0; i < 1000; ++i) {
+      rel.Insert({Value(i % 64), Value(static_cast<double>(i)), Value(i)});
+    }
+    benchmark::DoNotOptimize(rel.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_RelationInsert);
+
+void BM_RelationProbe(benchmark::State& state) {
+  Relation rel(3);
+  for (int64_t i = 0; i < 10000; ++i) {
+    rel.Insert({Value(i % 256), Value(static_cast<double>(i)), Value(i)});
+  }
+  int64_t probes = 0;
+  for (auto _ : state) {
+    for (int64_t i = 0; i < 256; ++i) {
+      benchmark::DoNotOptimize(rel.Probe(0, Value(i)).size());
+      ++probes;
+    }
+  }
+  state.SetItemsProcessed(probes);
+}
+BENCHMARK(BM_RelationProbe);
+
+void BM_ValueHashCompare(benchmark::State& state) {
+  Value a(3.25), b(int64_t{42});
+  size_t acc = 0;
+  for (auto _ : state) {
+    acc ^= a.Hash() ^ b.Hash();
+    benchmark::DoNotOptimize(a == b);
+    benchmark::DoNotOptimize(a.NumericCompare(b));
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ValueHashCompare);
+
+void BM_ParseAptQuery(benchmark::State& state) {
+  const std::string text = queries::Apt();
+  for (auto _ : state) {
+    auto program = ParseProgram(text);
+    ARIADNE_CHECK(program.ok());
+    benchmark::DoNotOptimize(program->rules.size());
+  }
+}
+BENCHMARK(BM_ParseAptQuery);
+
+void BM_AnalyzeAptQuery(benchmark::State& state) {
+  auto program = ParseProgram(queries::Apt());
+  ARIADNE_CHECK(program.ok());
+  ARIADNE_CHECK(program->BindParameters({{"eps", Value(0.01)}}).ok());
+  for (auto _ : state) {
+    auto query =
+        Analyze(*program, Catalog::Default(), UdfRegistry::Default());
+    ARIADNE_CHECK(query.ok());
+    benchmark::DoNotOptimize(query->direction());
+  }
+}
+BENCHMARK(BM_AnalyzeAptQuery);
+
+}  // namespace
+}  // namespace ariadne
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Reproduces paper Figure 7: runtime overhead of provenance capture —
+// full capture (Query 2) vs custom capture (Query 3) — relative to the
+// plain analytic (the "Giraph" baseline).
+//
+// Shape to check: full capture costs a small-integer multiple of the
+// baseline (paper: 2.7-3.4x for PageRank, 3-5.6x for SSSP/WCC) and custom
+// capture stays well below it (paper: < 2x).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+namespace ariadne::bench {
+namespace {
+
+int Run() {
+  SetLogLevel(LogLevel::kWarning);
+  PrintBanner("Figure 7: capture runtime (Full = Query 2, Custom = Query 3)",
+              "Full capture 2.7-5.6x the analytic's runtime; custom capture "
+              "< 2x");
+
+  TablePrinter table({"Dataset", "Analytic", "Baseline(s)", "Full(s)",
+                      "Full/Base", "Custom(s)", "Custom/Base"});
+  for (const auto& dataset : WebDatasets()) {
+    auto graph = GenerateRmat(dataset.rmat);
+    if (!graph.ok()) return 1;
+    Session session(&*graph);
+    auto full_query = session.PrepareOnline(queries::CaptureFull());
+    if (!full_query.ok()) return 1;
+    for (AnalyticKind kind : {AnalyticKind::kPageRank, AnalyticKind::kSssp,
+                              AnalyticKind::kWcc}) {
+      const double base = TimedSeconds([&] {
+        auto stats = RunBaseline(kind, *graph);
+        ARIADNE_CHECK(stats.ok());
+      });
+      const double full = TimedSeconds([&] {
+        ProvenanceStore store;
+        auto stats = RunCapture(kind, *graph, *full_query, &store);
+        ARIADNE_CHECK(stats.ok());
+      });
+      const VertexId alpha = CaptureSource(kind, *graph);
+      auto custom_query = session.PrepareOnline(
+          queries::CaptureForwardLineage(),
+          {{"alpha", Value(static_cast<int64_t>(alpha))}});
+      if (!custom_query.ok()) return 1;
+      const double custom = TimedSeconds([&] {
+        ProvenanceStore store;
+        auto stats = RunCapture(kind, *graph, *custom_query, &store);
+        ARIADNE_CHECK(stats.ok());
+      });
+      table.AddRow({dataset.short_name, AnalyticName(kind),
+                    FormatDouble(base, 3), FormatDouble(full, 3),
+                    Ratio(full, base), FormatDouble(custom, 3),
+                    Ratio(custom, base)});
+    }
+  }
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ariadne::bench
+
+int main() { return ariadne::bench::Run(); }

@@ -1,0 +1,57 @@
+// Reproduces paper Table 2: dataset characteristics.
+//
+// The paper's datasets are real web crawls (IN-04 .. UK-05, 194M-936M
+// edges) plus MovieLens-20M; this repo substitutes seeded R-MAT graphs and
+// a synthetic bipartite ratings matrix at laptop scale (DESIGN.md §2). The
+// row *shape* to check: sizes strictly increasing, web-like average
+// degrees (16-28), small effective diameters, and the ML dataset's much
+// higher average degree.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+
+namespace ariadne::bench {
+namespace {
+
+int Run() {
+  SetLogLevel(LogLevel::kWarning);
+  PrintBanner("Table 2: dataset characteristics",
+              "IN-04 7.4M/194M deg 26.2 diam 28.1; UK-02 18.5M/298M deg 16.0 "
+              "diam 21.6; AR-05 22.7M/640M deg 28.1 diam 22.4; UK-05 "
+              "39.5M/936M deg 23.7 diam 23.2; ML-20 16.5K/20M deg 121");
+
+  TablePrinter table({"Dataset", "|V|", "|E|", "Avg Degree", "Avg Diameter",
+                      "Input bytes"});
+  for (const auto& dataset : WebDatasets()) {
+    auto graph = GenerateRmat(dataset.rmat);
+    if (!graph.ok()) {
+      std::fprintf(stderr, "%s: %s\n", dataset.short_name.c_str(),
+                   graph.status().ToString().c_str());
+      return 1;
+    }
+    GraphStats stats = ComputeGraphStats(*graph, /*diameter_samples=*/8);
+    table.AddRow({dataset.short_name, std::to_string(stats.num_vertices),
+                  std::to_string(stats.num_edges),
+                  FormatDouble(stats.avg_degree, 2),
+                  FormatDouble(stats.avg_diameter, 2),
+                  HumanBytes(stats.input_bytes)});
+  }
+  auto ratings = GenerateBipartiteRatings(MlSynOptions());
+  if (!ratings.ok()) {
+    std::fprintf(stderr, "ML-SYN: %s\n", ratings.status().ToString().c_str());
+    return 1;
+  }
+  GraphStats ml = ComputeGraphStats(ratings->graph, 4);
+  table.AddRow({"ML-SYN", std::to_string(ml.num_vertices),
+                std::to_string(ml.num_edges), FormatDouble(ml.avg_degree, 2),
+                FormatDouble(ml.avg_diameter, 2), HumanBytes(ml.input_bytes)});
+  table.Print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace ariadne::bench
+
+int main() { return ariadne::bench::Run(); }

@@ -1,0 +1,70 @@
+// Quickstart: run an unmodified analytic with an always-on provenance
+// query evaluated online (paper Fig 2).
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/example_quickstart
+//
+// The program builds a small web-like graph, runs PageRank, and evaluates
+// the paper's Query 4 in lockstep: "a vertex with no in-edges must never
+// receive a message". At the end both the ranks and the query's verdict
+// exist — no capture step, no second pass.
+
+#include <cstdio>
+
+#include "core/ariadne.h"
+
+using namespace ariadne;
+
+int main() {
+  // 1. An input graph: a seeded R-MAT web-graph stand-in.
+  auto graph = GenerateRmat({.scale = 10, .avg_degree = 12, .seed = 7});
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %lld vertices, %lld edges\n",
+              static_cast<long long>(graph->num_vertices()),
+              static_cast<long long>(graph->num_edges()));
+
+  // 2. A session binds the graph to the PQL front-end.
+  Session session(&*graph);
+
+  // 3. Prepare the monitoring query (PQL is plain text; see
+  //    src/pql/queries.h for all the paper's queries).
+  auto query = session.PrepareOnline(queries::PageRankInDegreeCheck());
+  if (!query.ok()) {
+    std::fprintf(stderr, "query: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("query analysis:\n%s", query->DebugString().c_str());
+
+  // 4. Run the analytic with the query attached. The analytic code is the
+  //    stock PageRankProgram — provenance is entirely transparent to it.
+  PageRankProgram pagerank({.iterations = 10});
+  std::vector<double> ranks;
+  auto run = session.RunOnline(pagerank, *query, /*retention_window=*/2,
+                               &ranks);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+
+  // 5. Both results exist now.
+  double max_rank = 0;
+  VertexId top = 0;
+  for (size_t v = 0; v < ranks.size(); ++v) {
+    if (ranks[v] > max_rank) {
+      max_rank = ranks[v];
+      top = static_cast<VertexId>(v);
+    }
+  }
+  std::printf("PageRank finished in %d supersteps (%lld messages)\n",
+              run->engine_stats.supersteps,
+              static_cast<long long>(run->engine_stats.total_messages));
+  std::printf("top vertex: %lld with rank %.3f\n",
+              static_cast<long long>(top), max_rank);
+  std::printf("monitoring verdict: %zu check-failed tuples (expected 0 for "
+              "a well-formed analytic)\n",
+              run->query_result.TupleCount("check-failed"));
+  return 0;
+}

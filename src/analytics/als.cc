@@ -1,0 +1,130 @@
+#include "analytics/als.h"
+
+#include <cmath>
+
+#include "analytics/linalg.h"
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace ariadne {
+
+namespace {
+constexpr char kSqErrorAggregator[] = "als.sq_error";
+constexpr char kCountAggregator[] = "als.count";
+}  // namespace
+
+std::vector<double> AlsProgram::InitialValue(VertexId id,
+                                             const Graph& /*graph*/) const {
+  Rng rng(options_.seed ^ static_cast<uint64_t>(id) * 0x9e3779b9ULL);
+  std::vector<double> f(static_cast<size_t>(options_.num_features));
+  for (auto& x : f) x = rng.NextDouble(0.1, 1.0);
+  return f;
+}
+
+void AlsProgram::RegisterAggregators(AggregatorRegistry& registry) {
+  registry.Register(kSqErrorAggregator, AggregateOp::kSum);
+  registry.Register(kCountAggregator, AggregateOp::kSum);
+  last_rmse_ = -1.0;
+  prev_rmse_ = -1.0;
+}
+
+void AlsProgram::Compute(
+    VertexContext<std::vector<double>, std::vector<double>>& ctx,
+    std::span<const std::vector<double>> messages) {
+  const size_t f = static_cast<size_t>(options_.num_features);
+  const bool is_user = ctx.id() < num_users_;
+
+  auto broadcast = [&] {
+    auto neighbors = ctx.out_neighbors();
+    auto ratings = ctx.out_weights();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      std::vector<double> msg = ctx.value();
+      msg.push_back(ratings[i]);
+      ctx.SendMessage(neighbors[i], std::move(msg));
+    }
+  };
+
+  if (ctx.superstep() == 0) {
+    // Items seed the alternation; users stay quiet until woken by mail.
+    if (!is_user) broadcast();
+    ctx.VoteToHalt();
+    return;
+  }
+
+  if (messages.empty()) {
+    ctx.VoteToHalt();
+    return;
+  }
+
+  // Normal equations: (sum f_n f_n^T + lambda * n * I) w = sum r_n f_n.
+  std::vector<double> a(f * f, 0.0);
+  std::vector<double> b(f, 0.0);
+  for (const auto& msg : messages) {
+    ARIADNE_CHECK(msg.size() == f + 1);
+    const double rating = msg[f];
+    for (size_t i = 0; i < f; ++i) {
+      b[i] += rating * msg[i];
+      for (size_t j = 0; j < f; ++j) {
+        a[i * f + j] += msg[i] * msg[j];
+      }
+    }
+  }
+  const double reg = options_.lambda * static_cast<double>(messages.size());
+  for (size_t i = 0; i < f; ++i) a[i * f + i] += reg;
+
+  auto solved = SolveLinear(std::move(a), std::move(b));
+  if (solved.ok()) {
+    ctx.SetValue(std::move(solved).value());
+  }
+  // else: keep previous features (singular system from degenerate input).
+
+  // Local training error against the (stale) neighbor features received.
+  double sq_error = 0.0;
+  for (const auto& msg : messages) {
+    std::vector<double> nbr(msg.begin(), msg.end() - 1);
+    const double pred = Dot(ctx.value(), nbr);
+    const double err = msg[f] - pred;
+    sq_error += err * err;
+  }
+  ctx.AggregateDouble(kSqErrorAggregator, sq_error);
+  ctx.AggregateDouble(kCountAggregator, static_cast<double>(messages.size()));
+
+  broadcast();
+  ctx.VoteToHalt();
+}
+
+void AlsProgram::MasterCompute(MasterContext& master) {
+  const double count = master.aggregators->Get(kCountAggregator);
+  if (count <= 0) return;
+  const double rmse =
+      std::sqrt(master.aggregators->Get(kSqErrorAggregator) / count);
+  prev_rmse_ = last_rmse_;
+  last_rmse_ = rmse;
+  const Superstep solve_rounds = master.superstep;  // rounds completed
+  if (solve_rounds >= 2 * options_.max_iterations) {
+    master.halt = true;
+  } else if (prev_rmse_ >= 0 &&
+             std::fabs(prev_rmse_ - rmse) < options_.tolerance) {
+    master.halt = true;
+  }
+}
+
+double AlsRmse(const Graph& graph, VertexId num_users,
+               std::span<const std::vector<double>> values) {
+  double sq = 0.0;
+  int64_t count = 0;
+  for (VertexId u = 0; u < num_users; ++u) {
+    auto neighbors = graph.OutNeighbors(u);
+    auto ratings = graph.OutWeights(u);
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      const double pred = Dot(values[static_cast<size_t>(u)],
+                              values[static_cast<size_t>(neighbors[i])]);
+      const double err = ratings[i] - pred;
+      sq += err * err;
+      ++count;
+    }
+  }
+  return count == 0 ? 0.0 : std::sqrt(sq / static_cast<double>(count));
+}
+
+}  // namespace ariadne

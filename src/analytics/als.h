@@ -1,0 +1,62 @@
+#ifndef ARIADNE_ANALYTICS_ALS_H_
+#define ARIADNE_ANALYTICS_ALS_H_
+
+#include <vector>
+
+#include "engine/vertex_program.h"
+
+namespace ariadne {
+
+/// Configuration of the ALS recommender (paper §6, ML-20 experiments).
+struct AlsOptions {
+  int num_features = 5;       ///< latent factor dimensionality (paper: 5-15)
+  double lambda = 0.05;       ///< Tikhonov regularization (ALS-WR style)
+  int max_iterations = 6;     ///< user+item solve rounds
+  double tolerance = 1e-4;    ///< halt when RMSE improves less than this
+  uint64_t seed = 123;        ///< deterministic feature initialization
+};
+
+/// Alternating Least Squares on a bipartite ratings graph (users are
+/// vertices [0, num_users), items the rest; every rating is an edge in
+/// both directions whose weight is the rating).
+///
+/// Vertex value: latent feature vector. Message: sender's features with
+/// the edge rating appended (size num_features + 1), so the receiver can
+/// form its normal equations without per-edge state.
+///
+/// Schedule: items broadcast at superstep 0; users solve at odd
+/// supersteps, items at even ones — "only one side of the bipartite graph
+/// computes" per iteration, exactly as the paper describes. Convergence is
+/// detected in MasterCompute from a global squared-error aggregator.
+class AlsProgram final
+    : public VertexProgram<std::vector<double>, std::vector<double>> {
+ public:
+  AlsProgram(AlsOptions options, VertexId num_users)
+      : options_(options), num_users_(num_users) {}
+
+  std::vector<double> InitialValue(VertexId id,
+                                   const Graph& graph) const override;
+  void Compute(VertexContext<std::vector<double>, std::vector<double>>& ctx,
+               std::span<const std::vector<double>> messages) override;
+  void RegisterAggregators(AggregatorRegistry& registry) override;
+  void MasterCompute(MasterContext& master) override;
+
+  /// Training RMSE observed at the last completed solve superstep.
+  double last_rmse() const { return last_rmse_; }
+
+ private:
+  AlsOptions options_;
+  VertexId num_users_;
+  double last_rmse_ = -1.0;
+  double prev_rmse_ = -1.0;
+};
+
+/// Root-mean-square rating prediction error of trained `user_features` /
+/// `item_features` (vertex values of a finished AlsProgram run) over all
+/// user->item edges. Used by tests and the Fig 9 bench.
+double AlsRmse(const Graph& graph, VertexId num_users,
+               std::span<const std::vector<double>> values);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ANALYTICS_ALS_H_

@@ -1,0 +1,26 @@
+#include "analytics/bfs.h"
+
+namespace ariadne {
+
+int64_t BfsProgram::InitialValue(VertexId /*id*/,
+                                 const Graph& /*graph*/) const {
+  return kUnreachedHops;
+}
+
+void BfsProgram::Compute(VertexContext<int64_t, int64_t>& ctx,
+                         std::span<const int64_t> messages) {
+  if (ctx.superstep() == 0) {
+    if (ctx.id() == source_) {
+      ctx.SetValue(0);
+      ctx.SendToAllOutNeighbors(1);
+    }
+  } else if (ctx.value() == kUnreachedHops && !messages.empty()) {
+    int64_t hops = messages[0];
+    for (int64_t m : messages) hops = std::min(hops, m);
+    ctx.SetValue(hops);
+    ctx.SendToAllOutNeighbors(hops + 1);
+  }
+  ctx.VoteToHalt();
+}
+
+}  // namespace ariadne

@@ -1,0 +1,33 @@
+#ifndef ARIADNE_ANALYTICS_BFS_H_
+#define ARIADNE_ANALYTICS_BFS_H_
+
+#include <cstdint>
+
+#include "engine/vertex_program.h"
+
+namespace ariadne {
+
+/// Hop distance assigned to vertices not reached from the source.
+inline constexpr int64_t kUnreachedHops = -1;
+
+/// Breadth-first search: vertex value = hop count from the source
+/// (unweighted shortest paths). A frontier analytic with sharply sparse
+/// per-superstep activity — a useful contrast to PageRank in provenance
+/// experiments, since its provenance graph has one thin layer per hop.
+class BfsProgram final : public VertexProgram<int64_t, int64_t> {
+ public:
+  explicit BfsProgram(VertexId source) : source_(source) {}
+
+  int64_t InitialValue(VertexId id, const Graph& graph) const override;
+  void Compute(VertexContext<int64_t, int64_t>& ctx,
+               std::span<const int64_t> messages) override;
+
+  VertexId source() const { return source_; }
+
+ private:
+  VertexId source_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ANALYTICS_BFS_H_

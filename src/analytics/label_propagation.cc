@@ -1,0 +1,51 @@
+#include "analytics/label_propagation.h"
+
+#include <unordered_map>
+
+namespace ariadne {
+
+namespace {
+
+void BroadcastBothWays(VertexContext<int64_t, int64_t>& ctx, int64_t label) {
+  for (VertexId v : ctx.graph().OutNeighbors(ctx.id())) {
+    ctx.SendMessage(v, label);
+  }
+  for (VertexId v : ctx.graph().InNeighbors(ctx.id())) {
+    ctx.SendMessage(v, label);
+  }
+}
+
+}  // namespace
+
+int64_t LabelPropagationProgram::InitialValue(VertexId id,
+                                              const Graph& /*graph*/) const {
+  return id;
+}
+
+void LabelPropagationProgram::Compute(VertexContext<int64_t, int64_t>& ctx,
+                                      std::span<const int64_t> messages) {
+  if (ctx.superstep() == 0) {
+    BroadcastBothWays(ctx, ctx.value());
+    return;  // stay active for the fixed schedule
+  }
+  if (!messages.empty()) {
+    std::unordered_map<int64_t, int> counts;
+    for (int64_t m : messages) ++counts[m];
+    int64_t best = ctx.value();
+    int best_count = 0;
+    for (const auto& [label, count] : counts) {
+      if (count > best_count || (count == best_count && label < best)) {
+        best = label;
+        best_count = count;
+      }
+    }
+    ctx.SetValue(best);
+  }
+  if (ctx.superstep() < rounds_) {
+    BroadcastBothWays(ctx, ctx.value());
+  } else {
+    ctx.VoteToHalt();
+  }
+}
+
+}  // namespace ariadne

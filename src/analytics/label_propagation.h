@@ -1,0 +1,32 @@
+#ifndef ARIADNE_ANALYTICS_LABEL_PROPAGATION_H_
+#define ARIADNE_ANALYTICS_LABEL_PROPAGATION_H_
+
+#include <cstdint>
+
+#include "engine/vertex_program.h"
+
+namespace ariadne {
+
+/// Synchronous label propagation for community detection: every superstep
+/// each vertex adopts the most frequent label among its (undirected)
+/// neighbors, with deterministic smallest-label tie-breaking, for a fixed
+/// number of rounds. Unlike the min-propagation analytics its values can
+/// oscillate, which makes it an interesting subject for the paper's
+/// monitoring queries (Query 6 flags value changes without messages —
+/// never here — and the apt query finds few safe vertices).
+class LabelPropagationProgram final
+    : public VertexProgram<int64_t, int64_t> {
+ public:
+  explicit LabelPropagationProgram(int rounds) : rounds_(rounds) {}
+
+  int64_t InitialValue(VertexId id, const Graph& graph) const override;
+  void Compute(VertexContext<int64_t, int64_t>& ctx,
+               std::span<const int64_t> messages) override;
+
+ private:
+  int rounds_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ANALYTICS_LABEL_PROPAGATION_H_

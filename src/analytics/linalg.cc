@@ -1,0 +1,100 @@
+#include "analytics/linalg.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace ariadne {
+
+Result<std::vector<double>> SolveLinear(std::vector<double> a,
+                                        std::vector<double> b) {
+  const size_t n = b.size();
+  if (a.size() != n * n) {
+    return Status::InvalidArgument("matrix/vector dimension mismatch");
+  }
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    size_t pivot = col;
+    for (size_t row = col + 1; row < n; ++row) {
+      if (std::fabs(a[row * n + col]) > std::fabs(a[pivot * n + col])) {
+        pivot = row;
+      }
+    }
+    if (std::fabs(a[pivot * n + col]) < 1e-12) {
+      return Status::InvalidArgument("singular matrix in SolveLinear");
+    }
+    if (pivot != col) {
+      for (size_t k = 0; k < n; ++k) {
+        std::swap(a[col * n + k], a[pivot * n + k]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / a[col * n + col];
+    for (size_t row = col + 1; row < n; ++row) {
+      const double factor = a[row * n + col] * inv;
+      if (factor == 0.0) continue;
+      for (size_t k = col; k < n; ++k) {
+        a[row * n + k] -= factor * a[col * n + k];
+      }
+      b[row] -= factor * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (size_t i = n; i-- > 0;) {
+    double sum = b[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= a[i * n + k] * x[k];
+    x[i] = sum / a[i * n + i];
+  }
+  return x;
+}
+
+double Dot(const std::vector<double>& x, const std::vector<double>& y) {
+  ARIADNE_CHECK(x.size() == y.size());
+  double sum = 0;
+  for (size_t i = 0; i < x.size(); ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+double EuclideanDistance(const std::vector<double>& x,
+                         const std::vector<double>& y) {
+  ARIADNE_CHECK(x.size() == y.size());
+  double sum = 0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double d = x[i] - y[i];
+    sum += d * d;
+  }
+  return std::sqrt(sum);
+}
+
+double LpNorm(const std::vector<double>& v, double p) {
+  ARIADNE_CHECK(p >= 1.0);
+  double sum = 0;
+  for (double x : v) sum += std::pow(std::fabs(x), p);
+  return std::pow(sum, 1.0 / p);
+}
+
+double RelativeError(const std::vector<double>& a,
+                     const std::vector<double>& b, double p) {
+  ARIADNE_CHECK(a.size() == b.size());
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double denom = LpNorm(a, p);
+  if (denom == 0.0) return LpNorm(diff, p) == 0.0 ? 0.0 : 1.0;
+  return LpNorm(diff, p) / denom;
+}
+
+double Median(std::vector<double> v) {
+  if (v.empty()) return 0.0;
+  const size_t mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid), v.end());
+  double m = v[mid];
+  if (v.size() % 2 == 0) {
+    std::nth_element(v.begin(), v.begin() + static_cast<ptrdiff_t>(mid) - 1,
+                     v.end());
+    m = (m + v[mid - 1]) / 2.0;
+  }
+  return m;
+}
+
+}  // namespace ariadne

@@ -1,0 +1,36 @@
+#ifndef ARIADNE_ANALYTICS_LINALG_H_
+#define ARIADNE_ANALYTICS_LINALG_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace ariadne {
+
+/// Dense f×f linear solve (Gaussian elimination, partial pivoting) for the
+/// ALS normal equations. `a` is row-major f×f and is modified in place;
+/// returns the solution of a·x = b. Errors on singular systems.
+Result<std::vector<double>> SolveLinear(std::vector<double> a,
+                                        std::vector<double> b);
+
+/// Dot product; requires equal sizes.
+double Dot(const std::vector<double>& x, const std::vector<double>& y);
+
+/// Euclidean distance between equal-length vectors.
+double EuclideanDistance(const std::vector<double>& x,
+                         const std::vector<double>& y);
+
+/// L_p norm of v (p >= 1).
+double LpNorm(const std::vector<double>& v, double p);
+
+/// Normalized relative error ||a - b||_p / ||a||_p — the error measure the
+/// paper borrows from [26] for Tables 5 and 6.
+double RelativeError(const std::vector<double>& a,
+                     const std::vector<double>& b, double p);
+
+/// Median of v (copies and partially sorts).
+double Median(std::vector<double> v);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ANALYTICS_LINALG_H_

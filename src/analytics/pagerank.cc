@@ -1,0 +1,96 @@
+#include "analytics/pagerank.h"
+
+#include <cmath>
+
+namespace ariadne {
+
+namespace {
+constexpr char kDanglingAggregator[] = "pagerank.dangling";
+}  // namespace
+
+// Ranks follow the unnormalized Giraph convention: initial value 1.0 and
+// p(v) = (1-d) + d * sum(in-contributions), so total mass is N and vertex
+// values are O(1). This matches the paper's Table 5 medians (~0.2) and
+// makes its epsilon = 0.01 threshold meaningful.
+
+double PageRankProgram::InitialValue(VertexId /*id*/,
+                                     const Graph& /*graph*/) const {
+  return 1.0;
+}
+
+void PageRankProgram::RegisterAggregators(AggregatorRegistry& registry) {
+  if (options_.redistribute_dangling) {
+    registry.Register(kDanglingAggregator, AggregateOp::kSum);
+  }
+}
+
+void PageRankProgram::Compute(VertexContext<double, double>& ctx,
+                              std::span<const double> messages) {
+  const double n = static_cast<double>(ctx.num_vertices());
+  const Superstep step = ctx.superstep();
+  if (step > 0) {
+    double sum = 0.0;
+    for (double m : messages) sum += m;
+    if (options_.redistribute_dangling) {
+      sum += ctx.GetAggregate(kDanglingAggregator) / n;
+    }
+    ctx.SetValue((1.0 - options_.damping) + options_.damping * sum);
+  }
+  if (step < options_.iterations) {
+    const int64_t degree = ctx.out_degree();
+    if (degree > 0) {
+      ctx.SendToAllOutNeighbors(ctx.value() / static_cast<double>(degree));
+    } else if (options_.redistribute_dangling) {
+      ctx.AggregateDouble(kDanglingAggregator, ctx.value());
+    }
+  } else {
+    ctx.VoteToHalt();
+  }
+}
+
+ApproxPageRankState ApproxPageRankProgram::InitialValue(
+    VertexId /*id*/, const Graph& /*graph*/) const {
+  ApproxPageRankState state;
+  state.rank = 1.0;
+  return state;
+}
+
+void ApproxPageRankProgram::Compute(
+    VertexContext<ApproxPageRankState, double>& ctx,
+    std::span<const double> messages) {
+  ApproxPageRankState state = ctx.value();
+  if (ctx.superstep() == 0) {
+    // Re-base to the zero-inflow fixpoint *before* scattering: a vertex
+    // that never receives mail must already have broadcast its final
+    // contribution, because nothing will ever wake it to send a
+    // correction. (Starting the power iteration from (1-d) instead of 1.0
+    // reaches the same fixpoint.)
+    state.rank = 1.0 - options_.damping;
+    if (ctx.out_degree() > 0) {
+      ctx.SendToAllOutNeighbors(state.rank /
+                                static_cast<double>(ctx.out_degree()));
+      state.last_sent = state.rank;
+    }
+    ctx.SetValue(state);
+    ctx.VoteToHalt();
+    return;
+  }
+  // Messages carry contribution *deltas*: receivers keep the stale
+  // contribution of quiet neighbors, which is what makes skipping sends
+  // an approximation rather than dropping rank mass.
+  for (double delta : messages) state.in_sum += delta;
+  state.rank = (1.0 - options_.damping) + options_.damping * state.in_sum;
+  const bool cap_reached = ctx.superstep() >= options_.iterations;
+  const bool large_update =
+      std::fabs(state.rank - state.last_sent) > epsilon_;
+  if (!cap_reached && large_update && ctx.out_degree() > 0) {
+    const double delta_contribution =
+        (state.rank - state.last_sent) / static_cast<double>(ctx.out_degree());
+    ctx.SendToAllOutNeighbors(delta_contribution);
+    state.last_sent = state.rank;
+  }
+  ctx.SetValue(state);
+  ctx.VoteToHalt();  // reawakened only by incoming deltas
+}
+
+}  // namespace ariadne

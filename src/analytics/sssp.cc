@@ -1,0 +1,45 @@
+#include "analytics/sssp.h"
+
+#include <algorithm>
+
+namespace ariadne {
+
+double SsspProgram::InitialValue(VertexId /*id*/,
+                                 const Graph& /*graph*/) const {
+  return kInfiniteDistance;
+}
+
+void SsspProgram::Compute(VertexContext<double, double>& ctx,
+                          std::span<const double> messages) {
+  double min_dist = ctx.id() == source_ ? 0.0 : kInfiniteDistance;
+  for (double m : messages) min_dist = std::min(min_dist, m);
+  if (min_dist < ctx.value()) {
+    ctx.SetValue(min_dist);
+    auto neighbors = ctx.out_neighbors();
+    auto weights = ctx.out_weights();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ctx.SendMessage(neighbors[i], min_dist + weights[i]);
+    }
+  }
+  ctx.VoteToHalt();
+}
+
+void ApproxSsspProgram::Compute(VertexContext<double, double>& ctx,
+                                std::span<const double> messages) {
+  double min_dist = ctx.id() == source_ ? 0.0 : kInfiniteDistance;
+  for (double m : messages) min_dist = std::min(min_dist, m);
+  // Require an improvement of more than epsilon before adopting and
+  // re-broadcasting (first discovery, from infinity, always qualifies).
+  if (min_dist < ctx.value() &&
+      (ctx.value() == kInfiniteDistance || ctx.value() - min_dist > epsilon_)) {
+    ctx.SetValue(min_dist);
+    auto neighbors = ctx.out_neighbors();
+    auto weights = ctx.out_weights();
+    for (size_t i = 0; i < neighbors.size(); ++i) {
+      ctx.SendMessage(neighbors[i], min_dist + weights[i]);
+    }
+  }
+  ctx.VoteToHalt();
+}
+
+}  // namespace ariadne

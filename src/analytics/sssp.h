@@ -1,0 +1,57 @@
+#ifndef ARIADNE_ANALYTICS_SSSP_H_
+#define ARIADNE_ANALYTICS_SSSP_H_
+
+#include <limits>
+
+#include "engine/vertex_program.h"
+
+namespace ariadne {
+
+/// Distance assigned to vertices not (yet) reached from the source.
+inline constexpr double kInfiniteDistance =
+    std::numeric_limits<double>::max();
+
+/// Single-source shortest paths over non-negative edge weights, following
+/// the paper's Appendix A pseudo-code: a vertex relaxes its distance from
+/// incoming messages and, on improvement, offers `dist + weight` to each
+/// out-neighbor. Terminates by quiescence.
+class SsspProgram : public VertexProgram<double, double> {
+ public:
+  explicit SsspProgram(VertexId source, bool use_combiner = false)
+      : source_(source), use_combiner_(use_combiner) {}
+
+  double InitialValue(VertexId id, const Graph& graph) const override;
+  void Compute(VertexContext<double, double>& ctx,
+               std::span<const double> messages) override;
+  const MessageCombiner<double>* combiner() const override {
+    return use_combiner_ ? &min_combiner_ : nullptr;
+  }
+
+  VertexId source() const { return source_; }
+
+ protected:
+  VertexId source_;
+
+ private:
+  bool use_combiner_;
+  MinCombiner<double> min_combiner_;
+};
+
+/// Approximate SSSP (paper §2.2 / Fig 10 / Table 6): improvements smaller
+/// than `epsilon` are absorbed without re-broadcasting, so convergence
+/// tails are cut at the cost of distances up to ~epsilon-per-hop too large.
+class ApproxSsspProgram final : public SsspProgram {
+ public:
+  ApproxSsspProgram(VertexId source, double epsilon)
+      : SsspProgram(source), epsilon_(epsilon) {}
+
+  void Compute(VertexContext<double, double>& ctx,
+               std::span<const double> messages) override;
+
+ private:
+  double epsilon_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ANALYTICS_SSSP_H_

@@ -1,0 +1,51 @@
+#ifndef ARIADNE_ANALYTICS_VALUE_TRAITS_H_
+#define ARIADNE_ANALYTICS_VALUE_TRAITS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analytics/pagerank.h"
+#include "common/value.h"
+
+namespace ariadne {
+
+/// Bridges an analytic's statically-typed vertex values and messages to
+/// the runtime `Value`s stored in provenance tables. This is the only
+/// analytic-type-specific piece of the provenance machinery; analytics
+/// themselves never see it (the capture/online wrappers apply it), which
+/// preserves the paper's "unchanged analytic" property.
+///
+/// Specialize for custom vertex-value structs (see ApproxPageRankState
+/// below for an example that projects the provenance-relevant field).
+template <typename T>
+struct ValueTraits;
+
+template <>
+struct ValueTraits<double> {
+  static Value ToValue(double v) { return Value(v); }
+};
+
+template <>
+struct ValueTraits<int64_t> {
+  static Value ToValue(int64_t v) { return Value(v); }
+};
+
+template <>
+struct ValueTraits<std::string> {
+  static Value ToValue(const std::string& v) { return Value(v); }
+};
+
+template <>
+struct ValueTraits<std::vector<double>> {
+  static Value ToValue(const std::vector<double>& v) { return Value(v); }
+};
+
+template <>
+struct ValueTraits<ApproxPageRankState> {
+  static Value ToValue(const ApproxPageRankState& v) { return Value(v.rank); }
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ANALYTICS_VALUE_TRAITS_H_

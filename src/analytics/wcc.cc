@@ -1,0 +1,54 @@
+#include "analytics/wcc.h"
+
+#include <algorithm>
+
+namespace ariadne {
+
+namespace {
+
+/// Broadcast `label` along both directions (weak connectivity).
+void SendToAllUndirected(VertexContext<int64_t, int64_t>& ctx, int64_t label) {
+  for (VertexId v : ctx.graph().OutNeighbors(ctx.id())) {
+    ctx.SendMessage(v, label);
+  }
+  for (VertexId v : ctx.graph().InNeighbors(ctx.id())) {
+    ctx.SendMessage(v, label);
+  }
+}
+
+}  // namespace
+
+int64_t WccProgram::InitialValue(VertexId id, const Graph& /*graph*/) const {
+  return id;
+}
+
+void WccProgram::Compute(VertexContext<int64_t, int64_t>& ctx,
+                         std::span<const int64_t> messages) {
+  int64_t label = ctx.value();
+  for (int64_t m : messages) label = std::min(label, m);
+  if (ctx.superstep() == 0) {
+    SendToAllUndirected(ctx, label);
+  } else if (label < ctx.value()) {
+    ctx.SetValue(label);
+    SendToAllUndirected(ctx, label);
+  }
+  ctx.VoteToHalt();
+}
+
+void ApproxWccProgram::Compute(VertexContext<int64_t, int64_t>& ctx,
+                               std::span<const int64_t> messages) {
+  int64_t label = ctx.value();
+  for (int64_t m : messages) label = std::min(label, m);
+  if (ctx.superstep() == 0) {
+    SendToAllUndirected(ctx, label);
+  } else if (label < ctx.value()) {
+    const bool large_update = ctx.value() - label > epsilon_;
+    ctx.SetValue(label);
+    // Suppressing small-improvement broadcasts is what breaks WCC: the
+    // improved label never reaches the rest of the component.
+    if (large_update) SendToAllUndirected(ctx, label);
+  }
+  ctx.VoteToHalt();
+}
+
+}  // namespace ariadne

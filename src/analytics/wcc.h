@@ -1,0 +1,42 @@
+#ifndef ARIADNE_ANALYTICS_WCC_H_
+#define ARIADNE_ANALYTICS_WCC_H_
+
+#include <cstdint>
+
+#include "engine/vertex_program.h"
+
+namespace ariadne {
+
+/// Weakly connected components by min-label propagation. Labels propagate
+/// along both edge directions (weak connectivity); a vertex re-broadcasts
+/// only when its label improves. The final value of each vertex is the
+/// smallest vertex id in its weakly connected component.
+class WccProgram : public VertexProgram<int64_t, int64_t> {
+ public:
+  WccProgram() = default;
+
+  int64_t InitialValue(VertexId id, const Graph& graph) const override;
+  void Compute(VertexContext<int64_t, int64_t>& ctx,
+               std::span<const int64_t> messages) override;
+};
+
+/// The paper's apt "optimization" applied to WCC (§6.2.2): suppress
+/// re-broadcasts whose label improvement is <= epsilon (paper threshold:
+/// 1). The apt query proves this is never safe for WCC — all no-execute
+/// vertices land in `unsafe` — and indeed this program converges to wrong
+/// components (normalized error ~0.9 in the paper). It exists to
+/// reproduce that negative result.
+class ApproxWccProgram final : public WccProgram {
+ public:
+  explicit ApproxWccProgram(int64_t epsilon) : epsilon_(epsilon) {}
+
+  void Compute(VertexContext<int64_t, int64_t>& ctx,
+               std::span<const int64_t> messages) override;
+
+ private:
+  int64_t epsilon_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ANALYTICS_WCC_H_

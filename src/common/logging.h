@@ -1,0 +1,56 @@
+#ifndef ARIADNE_COMMON_LOGGING_H_
+#define ARIADNE_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace ariadne {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Benches set
+/// this to kWarning so timing output stays clean.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log statement; flushes on destruction. Use via the
+/// ARIADNE_LOG macro, not directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ariadne
+
+#define ARIADNE_LOG(level)                                            \
+  ::ariadne::internal::LogMessage(::ariadne::LogLevel::k##level, __FILE__, \
+                                  __LINE__)
+
+/// Invariant check that survives NDEBUG: aborts with a message. Reserved
+/// for programming errors, not data errors (those return Status).
+#define ARIADNE_CHECK(cond)                                              \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "CHECK failed at " << __FILE__ << ":" << __LINE__     \
+                << ": " #cond << std::endl;                              \
+      std::abort();                                                      \
+    }                                                                    \
+  } while (0)
+
+#endif  // ARIADNE_COMMON_LOGGING_H_

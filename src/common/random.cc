@@ -1,0 +1,25 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ariadne {
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) {
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), exponent);
+    cdf_[i] = total;
+  }
+  for (size_t i = 0; i < n; ++i) cdf_[i] /= total;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return cdf_.size() - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+}  // namespace ariadne

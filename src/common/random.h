@@ -1,0 +1,57 @@
+#ifndef ARIADNE_COMMON_RANDOM_H_
+#define ARIADNE_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ariadne {
+
+/// Deterministic 64-bit PRNG (splitmix64). All generators and benchmarks
+/// seed explicitly so every experiment in EXPERIMENTS.md is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). Precondition: n > 0.
+  uint64_t NextUInt(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return lo + NextDouble() * (hi - lo);
+  }
+
+  bool NextBool(double p_true) { return NextDouble() < p_true; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Samples from a Zipf(s) distribution over {0, ..., n-1} via precomputed
+/// cumulative weights. Used by the bipartite rating generator to give
+/// items a realistic popularity skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_COMMON_RANDOM_H_

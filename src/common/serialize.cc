@@ -1,0 +1,129 @@
+#include "common/serialize.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace ariadne {
+
+void BinaryWriter::WriteValue(const Value& v) {
+  WriteU8(static_cast<uint8_t>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kInt:
+      WriteI64(v.AsInt());
+      break;
+    case Value::Kind::kDouble:
+      WriteDouble(v.AsDouble());
+      break;
+    case Value::Kind::kString:
+      WriteString(v.AsString());
+      break;
+    case Value::Kind::kDoubleVector: {
+      const auto& vec = v.AsDoubleVector();
+      WriteU64(vec.size());
+      for (double d : vec) WriteDouble(d);
+      break;
+    }
+  }
+}
+
+Status BinaryReader::ReadRaw(void* p, size_t n) {
+  if (pos_ + n > buf_.size()) {
+    return Status::OutOfRange("binary read past end of buffer");
+  }
+  std::memcpy(p, buf_.data() + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+Result<uint8_t> BinaryReader::ReadU8() {
+  uint8_t v;
+  ARIADNE_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint32_t> BinaryReader::ReadU32() {
+  uint32_t v;
+  ARIADNE_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<uint64_t> BinaryReader::ReadU64() {
+  uint64_t v;
+  ARIADNE_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<int64_t> BinaryReader::ReadI64() {
+  int64_t v;
+  ARIADNE_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<double> BinaryReader::ReadDouble() {
+  double v;
+  ARIADNE_RETURN_NOT_OK(ReadRaw(&v, sizeof(v)));
+  return v;
+}
+
+Result<std::string> BinaryReader::ReadString() {
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+  if (pos_ + n > buf_.size()) {
+    return Status::OutOfRange("string read past end of buffer");
+  }
+  std::string s = buf_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+Result<Value> BinaryReader::ReadValue() {
+  ARIADNE_ASSIGN_OR_RETURN(uint8_t kind, ReadU8());
+  switch (static_cast<Value::Kind>(kind)) {
+    case Value::Kind::kNull:
+      return Value();
+    case Value::Kind::kInt: {
+      ARIADNE_ASSIGN_OR_RETURN(int64_t v, ReadI64());
+      return Value(v);
+    }
+    case Value::Kind::kDouble: {
+      ARIADNE_ASSIGN_OR_RETURN(double v, ReadDouble());
+      return Value(v);
+    }
+    case Value::Kind::kString: {
+      ARIADNE_ASSIGN_OR_RETURN(std::string v, ReadString());
+      return Value(std::move(v));
+    }
+    case Value::Kind::kDoubleVector: {
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t n, ReadU64());
+      if (n > remaining() / sizeof(double)) {
+        return Status::OutOfRange("vector length exceeds buffer");
+      }
+      std::vector<double> vec(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(vec[i], ReadDouble());
+      }
+      return Value(std::move(vec));
+    }
+  }
+  return Status::ParseError("unknown Value kind tag " + std::to_string(kind));
+}
+
+Status WriteFile(const std::string& path, const std::string& data) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(data.data(), static_cast<std::streamsize>(data.size()));
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  return data;
+}
+
+}  // namespace ariadne

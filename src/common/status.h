@@ -1,0 +1,178 @@
+#ifndef ARIADNE_COMMON_STATUS_H_
+#define ARIADNE_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace ariadne {
+
+/// Error categories used across the library. Modeled after the Arrow /
+/// RocksDB convention of returning a rich status object instead of throwing.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kIOError = 5,
+  kParseError = 6,
+  kAnalysisError = 7,   ///< PQL semantic analysis failure (safety, stratification).
+  kUnsupported = 8,     ///< Valid input, but a mode/feature we do not implement.
+  kInternal = 9,
+};
+
+/// Returns a human-readable name for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: either OK or an error code plus message.
+///
+/// `Status` is cheap to copy in the OK case (a null pointer); errors carry a
+/// heap-allocated payload. Functions that can fail return `Status` or
+/// `Result<T>` and never throw.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status AnalysisError(std::string msg) {
+    return Status(StatusCode::kAnalysisError, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsParseError() const { return code() == StatusCode::kParseError; }
+  bool IsAnalysisError() const { return code() == StatusCode::kAnalysisError; }
+  bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  /// Prefixes the error message with `context` (no-op on OK statuses).
+  Status WithContext(const std::string& context) const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // null == OK
+};
+
+/// Either a value of type `T` or an error `Status`. Analogous to
+/// `arrow::Result<T>`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return value;` in Result-returning code.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status. Aborts (in debug) if `status` is OK:
+  /// an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "Result constructed from OK status without a value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Moves the value out; precondition: ok().
+  T MoveValue() {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ariadne
+
+/// Propagates a non-OK Status from an expression evaluating to Status.
+#define ARIADNE_RETURN_NOT_OK(expr)                \
+  do {                                             \
+    ::ariadne::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define ARIADNE_CONCAT_IMPL(x, y) x##y
+#define ARIADNE_CONCAT(x, y) ARIADNE_CONCAT_IMPL(x, y)
+
+/// Evaluates `rexpr` (a Result<T>), propagating its error or binding the
+/// value to `lhs`. Usage: ARIADNE_ASSIGN_OR_RETURN(auto g, Graph::Load(p));
+#define ARIADNE_ASSIGN_OR_RETURN(lhs, rexpr)                       \
+  ARIADNE_ASSIGN_OR_RETURN_IMPL(                                   \
+      ARIADNE_CONCAT(_ariadne_result_, __LINE__), lhs, rexpr)
+
+#define ARIADNE_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value();
+
+#endif  // ARIADNE_COMMON_STATUS_H_

@@ -1,0 +1,31 @@
+#ifndef ARIADNE_COMMON_STRING_UTIL_H_
+#define ARIADNE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ariadne {
+
+/// Splits `s` on `sep`, dropping empty pieces when `skip_empty`.
+std::vector<std::string> Split(std::string_view s, char sep,
+                               bool skip_empty = true);
+
+/// Joins `pieces` with `sep`.
+std::string Join(const std::vector<std::string>& pieces,
+                 const std::string& sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// "4.10 GB", "23.4 MB", "512 B" — used by the provenance-size benches.
+std::string HumanBytes(size_t bytes);
+
+/// Fixed-precision double formatting ("1.34").
+std::string FormatDouble(double v, int precision = 2);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_COMMON_STRING_UTIL_H_

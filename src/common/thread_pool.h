@@ -1,0 +1,45 @@
+#ifndef ARIADNE_COMMON_THREAD_POOL_H_
+#define ARIADNE_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ariadne {
+
+/// Fixed-size worker pool used by the BSP engine to run per-partition
+/// vertex compute within a superstep. With `num_threads == 0` (or 1) work
+/// executes inline on the caller thread, which keeps single-core runs and
+/// unit tests deterministic.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  /// Partitions [0, n) into chunks and runs `fn(begin, end)` per chunk,
+  /// blocking until all chunks finish. Exceptions in `fn` are not
+  /// supported (the library does not throw on hot paths).
+  void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
+
+ private:
+  void Submit(std::function<void()> task);
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_COMMON_THREAD_POOL_H_

@@ -1,0 +1,32 @@
+#ifndef ARIADNE_CORE_ARIADNE_H_
+#define ARIADNE_CORE_ARIADNE_H_
+
+/// Umbrella header: the full public API of the Ariadne library.
+///
+/// Layers (bottom-up):
+///   common/      Status/Result, runtime Value, serialization, RNG
+///   graph/       CSR graphs, generators, I/O, stats
+///   engine/      the vertex-centric BSP engine (Giraph stand-in)
+///   analytics/   PageRank, SSSP, WCC, ALS (+ approximate variants)
+///   pql/         the Datalog-based Provenance Query Language
+///   provenance/  the captured provenance store (layers + spill)
+///   eval/        online / layered / naive evaluation
+///   core/        Session — the one-stop facade
+
+#include "analytics/als.h"
+#include "analytics/pagerank.h"
+#include "analytics/sssp.h"
+#include "analytics/wcc.h"
+#include "common/status.h"
+#include "common/value.h"
+#include "core/session.h"
+#include "engine/engine.h"
+#include "eval/common.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+#include "pql/queries.h"
+#include "provenance/store.h"
+
+#endif  // ARIADNE_CORE_ARIADNE_H_

@@ -1,0 +1,70 @@
+#include "engine/aggregators.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace ariadne {
+
+double AggregatorRegistry::Identity(AggregateOp op) {
+  switch (op) {
+    case AggregateOp::kSum:
+      return 0.0;
+    case AggregateOp::kMin:
+      return std::numeric_limits<double>::infinity();
+    case AggregateOp::kMax:
+      return -std::numeric_limits<double>::infinity();
+  }
+  return 0.0;
+}
+
+void AggregatorRegistry::Register(const std::string& name, AggregateOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_[name] = Slot{op, Identity(op), Identity(op)};
+}
+
+void AggregatorRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_.clear();
+}
+
+bool AggregatorRegistry::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.count(name) > 0;
+}
+
+void AggregatorRegistry::Accumulate(const std::string& name, double v) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  ARIADNE_CHECK(it != slots_.end());
+  Slot& slot = it->second;
+  switch (slot.op) {
+    case AggregateOp::kSum:
+      slot.current += v;
+      break;
+    case AggregateOp::kMin:
+      slot.current = std::min(slot.current, v);
+      break;
+    case AggregateOp::kMax:
+      slot.current = std::max(slot.current, v);
+      break;
+  }
+}
+
+double AggregatorRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = slots_.find(name);
+  ARIADNE_CHECK(it != slots_.end());
+  return it->second.previous;
+}
+
+void AggregatorRegistry::EndSuperstep() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, slot] : slots_) {
+    slot.previous = slot.current;
+    slot.current = Identity(slot.op);
+  }
+}
+
+}  // namespace ariadne

@@ -1,0 +1,206 @@
+#ifndef ARIADNE_ENGINE_ENGINE_H_
+#define ARIADNE_ENGINE_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "engine/aggregators.h"
+#include "engine/types.h"
+#include "engine/vertex_program.h"
+#include "graph/graph.h"
+
+namespace ariadne {
+
+/// Bulk-Synchronous-Parallel vertex-centric engine (the Giraph stand-in,
+/// see DESIGN.md §2). Loads the whole graph in memory, runs supersteps
+/// with a global barrier, delivers messages between supersteps, and stops
+/// when every vertex has voted to halt and no messages are in flight (or
+/// at max_supersteps).
+///
+/// The engine is provenance-agnostic: capture and online query evaluation
+/// are ordinary `VertexProgram`s wrapping the analytic (src/provenance,
+/// src/eval), exactly as the paper requires ("without modifying the graph
+/// processing engine itself").
+template <typename V, typename M>
+class Engine {
+ public:
+  /// `graph` must outlive the engine.
+  explicit Engine(const Graph* graph, EngineOptions options = {})
+      : graph_(graph),
+        options_(options),
+        pool_(options.num_threads) {}
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Runs `program` to quiescence (or the superstep cap). The program must
+  /// outlive the call. Vertex values are readable afterwards via values().
+  Result<RunStats> Run(VertexProgram<V, M>& program) {
+    const VertexId n = graph_->num_vertices();
+    if (n == 0) return Status::InvalidArgument("empty graph");
+    if (options_.max_supersteps < 0) {
+      return Status::InvalidArgument("max_supersteps must be >= 0");
+    }
+
+    values_.clear();
+    values_.reserve(static_cast<size_t>(n));
+    for (VertexId v = 0; v < n; ++v) {
+      values_.push_back(program.InitialValue(v, *graph_));
+    }
+    halted_.assign(static_cast<size_t>(n), 0);
+    inbox_.assign(static_cast<size_t>(n), {});
+    next_inbox_.assign(static_cast<size_t>(n), {});
+    aggregators_.Reset();
+    program.RegisterAggregators(aggregators_);
+    const MessageCombiner<M>* combiner = program.combiner();
+
+    RunStats stats;
+    WallTimer run_timer;
+    for (Superstep step = 0; step < options_.max_supersteps; ++step) {
+      WallTimer step_timer;
+
+      // A vertex computes iff it has not voted to halt or received mail.
+      active_.clear();
+      for (VertexId v = 0; v < n; ++v) {
+        if (!halted_[static_cast<size_t>(v)] ||
+            !inbox_[static_cast<size_t>(v)].empty()) {
+          active_.push_back(v);
+        }
+      }
+      if (active_.empty()) break;
+
+      int64_t messages_this_step = 0;
+      {
+        std::mutex merge_mu;
+        pool_.ParallelFor(active_.size(), [&](size_t begin, size_t end) {
+          Ctx ctx(this, step);
+          std::vector<std::pair<VertexId, M>> outbox;
+          for (size_t i = begin; i < end; ++i) {
+            const VertexId v = active_[i];
+            ctx.Reset(v, &outbox);
+            halted_[static_cast<size_t>(v)] = 0;
+            auto& mail = inbox_[static_cast<size_t>(v)];
+            program.Compute(ctx, std::span<const M>(mail.data(), mail.size()));
+            if (ctx.voted_halt()) halted_[static_cast<size_t>(v)] = 1;
+            mail.clear();
+          }
+          std::lock_guard<std::mutex> lock(merge_mu);
+          messages_this_step += static_cast<int64_t>(outbox.size());
+          for (auto& [target, msg] : outbox) {
+            DeliverLocked(target, std::move(msg), combiner);
+          }
+        });
+      }
+
+      aggregators_.EndSuperstep();
+      MasterContext master;
+      master.superstep = step;
+      master.aggregators = &aggregators_;
+      program.MasterCompute(master);
+
+      stats.supersteps = step + 1;
+      stats.total_messages += messages_this_step;
+      stats.total_active += static_cast<int64_t>(active_.size());
+      if (options_.collect_per_step_stats) {
+        stats.steps.push_back(SuperstepStats{
+            step, static_cast<int64_t>(active_.size()), messages_this_step,
+            step_timer.ElapsedSeconds()});
+      }
+
+      std::swap(inbox_, next_inbox_);
+      if (master.halt) break;
+    }
+    stats.halted_by_cap = stats.supersteps == options_.max_supersteps &&
+                          HasPendingWork();
+    stats.seconds = run_timer.ElapsedSeconds();
+    return stats;
+  }
+
+  std::span<const V> values() const { return values_; }
+  const V& value(VertexId v) const { return values_[static_cast<size_t>(v)]; }
+  const Graph& graph() const { return *graph_; }
+
+ private:
+  /// Concrete context handed to Compute; reset per vertex within a chunk.
+  class Ctx final : public VertexContext<V, M> {
+   public:
+    Ctx(Engine* engine, Superstep step) : engine_(engine), step_(step) {}
+
+    void Reset(VertexId v, std::vector<std::pair<VertexId, M>>* outbox) {
+      vertex_ = v;
+      outbox_ = outbox;
+      voted_halt_ = false;
+    }
+    bool voted_halt() const { return voted_halt_; }
+
+    VertexId id() const override { return vertex_; }
+    Superstep superstep() const override { return step_; }
+    const Graph& graph() const override { return *engine_->graph_; }
+    const V& value() const override {
+      return engine_->values_[static_cast<size_t>(vertex_)];
+    }
+    void SetValue(V value) override {
+      engine_->values_[static_cast<size_t>(vertex_)] = std::move(value);
+    }
+    void SendMessage(VertexId target, M message) override {
+      outbox_->emplace_back(target, std::move(message));
+    }
+    void VoteToHalt() override { voted_halt_ = true; }
+    void AggregateDouble(const std::string& name, double v) override {
+      engine_->aggregators_.Accumulate(name, v);
+    }
+    double GetAggregate(const std::string& name) const override {
+      return engine_->aggregators_.Get(name);
+    }
+
+   private:
+    Engine* engine_;
+    Superstep step_;
+    VertexId vertex_ = 0;
+    std::vector<std::pair<VertexId, M>>* outbox_ = nullptr;
+    bool voted_halt_ = false;
+  };
+
+  void DeliverLocked(VertexId target, M msg,
+                     const MessageCombiner<M>* combiner) {
+    // Out-of-range targets are dropped, mirroring Giraph's behaviour for
+    // messages to non-existent vertex ids.
+    if (target < 0 || target >= graph_->num_vertices()) return;
+    auto& box = next_inbox_[static_cast<size_t>(target)];
+    if (combiner != nullptr && !box.empty()) {
+      box[0] = combiner->Combine(box[0], msg);
+    } else {
+      box.push_back(std::move(msg));
+    }
+  }
+
+  bool HasPendingWork() const {
+    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      if (!halted_[static_cast<size_t>(v)] ||
+          !inbox_[static_cast<size_t>(v)].empty()) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  const Graph* graph_;
+  EngineOptions options_;
+  ThreadPool pool_;
+  std::vector<V> values_;
+  std::vector<uint8_t> halted_;
+  std::vector<std::vector<M>> inbox_;
+  std::vector<std::vector<M>> next_inbox_;
+  std::vector<VertexId> active_;
+  AggregatorRegistry aggregators_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ENGINE_ENGINE_H_

@@ -1,0 +1,47 @@
+#ifndef ARIADNE_ENGINE_TYPES_H_
+#define ARIADNE_ENGINE_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace ariadne {
+
+/// BSP superstep index, 0-based.
+using Superstep = int32_t;
+
+/// Engine configuration (Giraph-job-conf equivalent).
+struct EngineOptions {
+  /// Worker threads for vertex compute; <= 1 runs inline (deterministic).
+  size_t num_threads = 1;
+  /// Hard cap; Run() stops after this many supersteps even if messages
+  /// remain in flight.
+  Superstep max_supersteps = 1000000;
+  /// Record per-superstep statistics in RunStats::steps.
+  bool collect_per_step_stats = true;
+};
+
+/// Statistics for one superstep.
+struct SuperstepStats {
+  Superstep step = 0;
+  int64_t active_vertices = 0;
+  int64_t messages_sent = 0;
+  double seconds = 0.0;
+};
+
+/// Statistics for a whole run; the provenance overhead experiments report
+/// ratios of RunStats::seconds.
+struct RunStats {
+  Superstep supersteps = 0;  ///< supersteps actually executed
+  int64_t total_messages = 0;
+  int64_t total_active = 0;  ///< sum of active vertices over supersteps
+  double seconds = 0.0;
+  bool halted_by_cap = false;  ///< stopped by max_supersteps, not quiescence
+  std::vector<SuperstepStats> steps;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ENGINE_TYPES_H_

@@ -1,0 +1,121 @@
+#ifndef ARIADNE_ENGINE_VERTEX_PROGRAM_H_
+#define ARIADNE_ENGINE_VERTEX_PROGRAM_H_
+
+#include <span>
+#include <string>
+
+#include "engine/aggregators.h"
+#include "engine/types.h"
+#include "graph/graph.h"
+
+namespace ariadne {
+
+/// Commutative, associative message fold applied at delivery time
+/// (Giraph's Combiner). Reduces inbox sizes for analytics like SSSP (min)
+/// or PageRank (sum).
+template <typename M>
+class MessageCombiner {
+ public:
+  virtual ~MessageCombiner() = default;
+  virtual M Combine(const M& a, const M& b) const = 0;
+};
+
+template <typename M>
+class MinCombiner final : public MessageCombiner<M> {
+ public:
+  M Combine(const M& a, const M& b) const override { return a < b ? a : b; }
+};
+
+template <typename M>
+class MaxCombiner final : public MessageCombiner<M> {
+ public:
+  M Combine(const M& a, const M& b) const override { return a < b ? b : a; }
+};
+
+template <typename M>
+class SumCombiner final : public MessageCombiner<M> {
+ public:
+  M Combine(const M& a, const M& b) const override { return a + b; }
+};
+
+/// Per-vertex view of the engine during Compute. Abstract so that
+/// provenance wrappers (capture, online querying) can interpose on sends
+/// and value updates without any change to the engine or the analytic —
+/// the architecture property the paper relies on (§2.2, §5.2).
+template <typename V, typename M>
+class VertexContext {
+ public:
+  virtual ~VertexContext() = default;
+
+  virtual VertexId id() const = 0;
+  virtual Superstep superstep() const = 0;
+  virtual const Graph& graph() const = 0;
+
+  virtual const V& value() const = 0;
+  virtual void SetValue(V value) = 0;
+
+  /// Queues `message` for delivery to `target` at superstep()+1. `target`
+  /// may be any vertex id, not only a neighbor (Giraph semantics; the
+  /// paper's Query 4 audits exactly this loophole).
+  virtual void SendMessage(VertexId target, M message) = 0;
+
+  /// Halts this vertex; it recomputes only if a message arrives.
+  virtual void VoteToHalt() = 0;
+
+  virtual void AggregateDouble(const std::string& name, double v) = 0;
+  virtual double GetAggregate(const std::string& name) const = 0;
+
+  // -- Convenience helpers (non-virtual, defined over the above). --
+
+  int64_t num_vertices() const { return graph().num_vertices(); }
+  std::span<const VertexId> out_neighbors() const {
+    return graph().OutNeighbors(id());
+  }
+  std::span<const double> out_weights() const {
+    return graph().OutWeights(id());
+  }
+  int64_t out_degree() const { return graph().OutDegree(id()); }
+  int64_t in_degree() const { return graph().InDegree(id()); }
+
+  void SendToAllOutNeighbors(const M& message) {
+    for (VertexId target : out_neighbors()) SendMessage(target, message);
+  }
+};
+
+/// A vertex-centric program (paper Appendix A): the same Compute runs on
+/// every active vertex each superstep; messages sent at superstep s are
+/// visible at s+1; the computation ends when every vertex has voted to
+/// halt and no messages are in flight.
+template <typename V, typename M>
+class VertexProgram {
+ public:
+  using ValueType = V;
+  using MessageType = M;
+
+  virtual ~VertexProgram() = default;
+
+  /// Vertex value before superstep 0.
+  virtual V InitialValue(VertexId id, const Graph& graph) const = 0;
+
+  /// The per-vertex kernel. `messages` are the messages delivered this
+  /// superstep (already combined if combiner() is non-null).
+  virtual void Compute(VertexContext<V, M>& ctx,
+                       std::span<const M> messages) = 0;
+
+  /// Optional message combiner; nullptr disables combining. The returned
+  /// pointer must outlive the run (typically a member of the program).
+  virtual const MessageCombiner<M>* combiner() const { return nullptr; }
+
+  /// Registers global aggregators before superstep 0.
+  virtual void RegisterAggregators(AggregatorRegistry& registry) {
+    (void)registry;
+  }
+
+  /// Runs on the "master" after each superstep barrier; may inspect
+  /// aggregators and set `master.halt` (Giraph's MasterCompute).
+  virtual void MasterCompute(MasterContext& master) { (void)master; }
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_ENGINE_VERTEX_PROGRAM_H_

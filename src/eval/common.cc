@@ -1,0 +1,118 @@
+#include "eval/common.h"
+
+namespace ariadne {
+
+void DeliverShips(Database& db, const ShipBundle& bundle) {
+  for (const auto& [pred, tuples] : bundle) {
+    Relation& rel = db.Rel(pred);
+    for (const Tuple& t : tuples) rel.Insert(t);
+  }
+}
+
+namespace {
+
+ShipBundlePtr CollectImpl(const AnalyzedQuery& query, NodeQueryState& state,
+                          VertexId self, const ShipRouting* routing_filter) {
+  const auto& shipped = query.shipped_preds();
+  if (shipped.empty() || state.db == nullptr) return nullptr;
+  const Value self_loc(static_cast<int64_t>(self));
+  ShipBundle bundle;
+  for (size_t k = 0; k < shipped.size(); ++k) {
+    const int pred = shipped[k];
+    if (routing_filter != nullptr &&
+        query.pred(pred).routing != *routing_filter) {
+      continue;
+    }
+    const Relation* rel = state.db->RelIfExists(pred);
+    const size_t size = rel == nullptr ? 0 : rel->size();
+    size_t& watermark = state.ship_watermarks[k];
+    if (size > watermark) {
+      std::vector<Tuple> tuples;
+      tuples.reserve(size - watermark);
+      for (size_t i = watermark; i < size; ++i) {
+        const Tuple& t = rel->row(i);
+        if (!t.empty() && t[0] == self_loc) tuples.push_back(t);
+      }
+      watermark = size;
+      if (!tuples.empty()) bundle.emplace_back(pred, std::move(tuples));
+    }
+  }
+  if (bundle.empty()) return nullptr;
+  return std::make_shared<const ShipBundle>(std::move(bundle));
+}
+
+}  // namespace
+
+ShipBundlePtr CollectShipDelta(const AnalyzedQuery& query,
+                               NodeQueryState& state, VertexId self) {
+  return CollectImpl(query, state, self, nullptr);
+}
+
+ShipBundlePtr CollectShipDeltaForRouting(const AnalyzedQuery& query,
+                                         NodeQueryState& state, VertexId self,
+                                         ShipRouting routing) {
+  return CollectImpl(query, state, self, &routing);
+}
+
+void ApplyRetention(const AnalyzedQuery& query, Database& db,
+                    Superstep current, int window) {
+  if (window <= 0) return;
+  const Superstep cutoff = current - window;
+  if (cutoff < 0) return;
+  for (int p = 0; p < query.num_preds(); ++p) {
+    const PredicateInfo& info = query.pred(p);
+    if (info.is_idb() || IsStaticEdb(info.edb) || IsTransientEdb(info.edb)) {
+      continue;
+    }
+    const auto step_col = EdbStepColumn(info.edb);
+    if (!step_col.has_value()) continue;
+    Relation* rel = db.MutableRelIfExists(p);
+    if (rel == nullptr || rel->empty()) continue;
+    const int col = *step_col;
+    rel->RemoveIf([col, cutoff](const Tuple& t) {
+      const Value& v = t[static_cast<size_t>(col)];
+      return v.is_int() && v.AsInt() < cutoff;
+    });
+  }
+}
+
+const char* EvalModeToString(EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kOnline:
+      return "online";
+    case EvalMode::kLayered:
+      return "layered";
+    case EvalMode::kNaive:
+      return "naive";
+  }
+  return "?";
+}
+
+Status ValidateMode(const AnalyzedQuery& query, EvalMode mode) {
+  switch (mode) {
+    case EvalMode::kOnline:
+      if (!query.vc_compatible() ||
+          (query.direction() != Direction::kForward &&
+           query.direction() != Direction::kLocal)) {
+        return Status::InvalidArgument(
+            "online evaluation requires a forward (or local) VC-compatible "
+            "query; this query is " +
+            std::string(DirectionToString(query.direction())));
+      }
+      return Status::OK();
+    case EvalMode::kLayered:
+      if (!query.vc_compatible() ||
+          query.direction() == Direction::kUndirected) {
+        return Status::InvalidArgument(
+            "layered evaluation requires a directed VC-compatible query; "
+            "this query is " +
+            std::string(DirectionToString(query.direction())));
+      }
+      return Status::OK();
+    case EvalMode::kNaive:
+      return Status::OK();
+  }
+  return Status::Internal("unknown mode");
+}
+
+}  // namespace ariadne

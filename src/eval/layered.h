@@ -1,0 +1,37 @@
+#ifndef ARIADNE_EVAL_LAYERED_H_
+#define ARIADNE_EVAL_LAYERED_H_
+
+#include "common/status.h"
+#include "engine/types.h"
+#include "eval/common.h"
+#include "graph/graph.h"
+#include "provenance/store.h"
+
+namespace ariadne {
+
+/// Layered offline evaluation (paper §5.1): the query runs as an ordinary
+/// vertex program on the VC engine over the input graph, materializing
+/// one provenance-graph layer per superstep — ascending for forward
+/// queries, descending for backward queries — and shipping remote tables
+/// along the recorded message edges (or static edges for edge-guarded
+/// queries). Memory stays bounded by one layer plus the per-vertex
+/// evaluation state, unlike naive evaluation.
+class LayeredEvaluator {
+ public:
+  /// `query` must be analyzed offline (transient EDBs disallowed) against
+  /// `store->ToStoreSchema()` and pass ValidateMode(kLayered).
+  LayeredEvaluator(const Graph* graph, ProvenanceStore* store,
+                   const AnalyzedQuery* query, EngineOptions options = {});
+
+  Result<OfflineRun> Run();
+
+ private:
+  const Graph* graph_;
+  ProvenanceStore* store_;
+  const AnalyzedQuery* query_;
+  EngineOptions options_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_EVAL_LAYERED_H_

@@ -1,0 +1,223 @@
+#include "eval/naive.h"
+
+#include <set>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "engine/engine.h"
+#include "pql/evaluator.h"
+
+namespace ariadne {
+
+namespace {
+
+struct NaiveShipMessage {
+  ShipBundlePtr ships;
+};
+
+/// The traditional evaluation strategy (paper §6.2 "Naive"): materialize
+/// the ENTIRE provenance graph in the engine at once — every vertex holds
+/// all of its layers' facts up front — then run the query vertex program
+/// to fixpoint, exchanging remote tables along the recorded message edges
+/// without any layer ordering. Memory scales with the whole provenance
+/// graph, which is exactly why the paper's Naive "was not able to scale
+/// beyond the two smallest datasets".
+class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
+ public:
+  NaiveProgram(const Graph* graph, ProvenanceStore* store,
+               const AnalyzedQuery* query)
+      : graph_(graph), store_(store), query_(query), evaluator_(query) {
+    rel_to_pred_.resize(store_->schema().size(), -1);
+    for (size_t r = 0; r < store_->schema().size(); ++r) {
+      rel_to_pred_[r] = query_->PredId(store_->schema()[r].name);
+    }
+    send_rel_ = store_->RelId("send-message");
+    receive_rel_ = store_->RelId("receive-message");
+  }
+
+  /// Materializes every layer into the per-vertex databases.
+  Status Prepare() {
+    states_.clear();
+    states_.resize(static_cast<size_t>(graph_->num_vertices()));
+    auto load = [&](const Layer& layer) {
+      for (const auto& slice : layer.slices) {
+        // Routing indexes follow the recorded message edges even when the
+        // query itself does not read send/receive-message.
+        if (slice.rel == send_rel_) {
+          auto& targets = route_out_[slice.vertex];
+          for (const Tuple& t : slice.tuples) {
+            if (t.size() > 1 && t[1].is_int()) targets.insert(t[1].AsInt());
+          }
+        } else if (slice.rel == receive_rel_) {
+          auto& sources = route_in_[slice.vertex];
+          for (const Tuple& t : slice.tuples) {
+            if (t.size() > 1 && t[1].is_int()) sources.insert(t[1].AsInt());
+          }
+        }
+        const int pred = rel_to_pred_[static_cast<size_t>(slice.rel)];
+        if (pred < 0) continue;
+        NodeQueryState& st = states_[static_cast<size_t>(slice.vertex)];
+        Relation& rel = st.EnsureDb(*query_).Rel(pred);
+        for (const Tuple& t : slice.tuples) rel.Insert(t);
+      }
+    };
+    load(store_->static_data());
+    for (int step = 0; step < store_->num_layers(); ++step) {
+      ARIADNE_ASSIGN_OR_RETURN(const Layer* layer, store_->GetLayer(step));
+      load(*layer);
+    }
+    return Status::OK();
+  }
+
+  char InitialValue(VertexId, const Graph&) const override { return 0; }
+
+  void RegisterAggregators(AggregatorRegistry& registry) override {
+    registry.Register("naive.progress", AggregateOp::kSum);
+  }
+
+  void Compute(VertexContext<char, NaiveShipMessage>& ctx,
+               std::span<const NaiveShipMessage> messages) override {
+    const VertexId v = ctx.id();
+    NodeQueryState& st = states_[static_cast<size_t>(v)];
+    Database& db = st.EnsureDb(*query_);
+    for (const auto& m : messages) {
+      if (m.ships != nullptr) DeliverShips(db, *m.ships);
+    }
+
+    EvalContext ectx;
+    ectx.db = &db;
+    ectx.graph = graph_;
+    ectx.local_vertex = v;
+    // Strata are synchronized globally: negation may only read lower
+    // strata once they are complete everywhere.
+    ectx.max_stratum = current_stratum_;
+    auto evaluated = evaluator_.Evaluate(ectx);
+    if (!evaluated.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = evaluated.status();
+      return;
+    }
+    bool progress = *evaluated;
+
+    // Ship fresh deltas along all recorded message edges (no layer
+    // ordering); the master advances the stratum after a quiet round.
+    for (ShipRouting routing :
+         {ShipRouting::kAlongMessages, ShipRouting::kAlongReverseMessages,
+          ShipRouting::kAlongOutEdges, ShipRouting::kAlongInEdges}) {
+      ShipBundlePtr bundle =
+          CollectShipDeltaForRouting(*query_, st, v, routing);
+      if (bundle == nullptr) continue;
+      progress = true;
+      for (VertexId target : RoutingTargets(db, v, routing)) {
+        ctx.SendMessage(target, NaiveShipMessage{bundle});
+      }
+    }
+    if (progress) ctx.AggregateDouble("naive.progress", 1.0);
+    // Never vote to halt: every vertex stays active every round until the
+    // master ends the run — the cost profile that makes Naive "naive".
+  }
+
+  void MasterCompute(MasterContext& master) override {
+    if (master.aggregators->Get("naive.progress") == 0.0) {
+      ++current_stratum_;
+      if (current_stratum_ >= query_->num_strata()) master.halt = true;
+    }
+  }
+
+  QueryResult CollectResult() const {
+    QueryResult result;
+    for (const auto& state : states_) {
+      if (state.db != nullptr) result.Merge(*query_, *state.db);
+    }
+    return result;
+  }
+
+  size_t StateBytes() const {
+    size_t bytes = 0;
+    for (const auto& state : states_) {
+      if (state.db != nullptr) bytes += state.db->TotalBytes();
+    }
+    return bytes;
+  }
+
+  const Status& status() const { return first_error_; }
+
+ private:
+  /// All distinct peers over every superstep (the naive mode holds the
+  /// whole unfolded graph, so ships fan out along all recorded edges).
+  /// Falls back to static adjacency in both directions when the store did
+  /// not capture message records (overshipping is safe).
+  std::vector<VertexId> RoutingTargets(Database& /*db*/, VertexId v,
+                                       ShipRouting routing) {
+    const bool along_messages = routing == ShipRouting::kAlongMessages ||
+                                routing == ShipRouting::kAlongReverseMessages;
+    if (along_messages) {
+      const auto& index = routing == ShipRouting::kAlongMessages
+                              ? route_out_
+                              : route_in_;
+      const int rel = routing == ShipRouting::kAlongMessages ? send_rel_
+                                                             : receive_rel_;
+      if (rel >= 0) {
+        auto it = index.find(v);
+        if (it == index.end()) return {};
+        return {it->second.begin(), it->second.end()};
+      }
+      std::set<VertexId> unique;
+      auto out_nbrs = graph_->OutNeighbors(v);
+      auto in_nbrs = graph_->InNeighbors(v);
+      unique.insert(out_nbrs.begin(), out_nbrs.end());
+      unique.insert(in_nbrs.begin(), in_nbrs.end());
+      return {unique.begin(), unique.end()};
+    }
+    const bool out = routing == ShipRouting::kAlongOutEdges;
+    auto nbrs = out ? graph_->OutNeighbors(v) : graph_->InNeighbors(v);
+    std::set<VertexId> unique(nbrs.begin(), nbrs.end());
+    return {unique.begin(), unique.end()};
+  }
+
+  const Graph* graph_;
+  ProvenanceStore* store_;
+  const AnalyzedQuery* query_;
+  RuleEvaluator evaluator_;
+  std::vector<int> rel_to_pred_;
+  int send_rel_ = -1, receive_rel_ = -1;
+  int current_stratum_ = 0;
+  std::unordered_map<VertexId, std::set<VertexId>> route_out_;
+  std::unordered_map<VertexId, std::set<VertexId>> route_in_;
+  std::vector<NodeQueryState> states_;
+  std::mutex mu_;
+  Status first_error_;
+};
+
+}  // namespace
+
+Result<OfflineRun> NaiveEvaluator::Run() {
+  ARIADNE_RETURN_NOT_OK(ValidateMode(*query_, EvalMode::kNaive));
+  if (store_->num_layers() == 0) {
+    return Status::InvalidArgument("provenance store has no layers");
+  }
+  WallTimer timer;
+  NaiveProgram program(graph_, store_, query_);
+  ARIADNE_RETURN_NOT_OK(program.Prepare());
+  const size_t loaded_bytes = program.StateBytes();
+
+  EngineOptions engine_options;
+  // Each stratum needs at most one round per layer plus a quiet round;
+  // undirected queries may bounce ships both ways, hence the factor.
+  engine_options.max_supersteps =
+      query_->num_strata() * (2 * store_->num_layers() + 4);
+  Engine<char, NaiveShipMessage> engine(graph_, engine_options);
+  ARIADNE_ASSIGN_OR_RETURN(RunStats stats, engine.Run(program));
+  ARIADNE_RETURN_NOT_OK(program.status());
+
+  OfflineRun run;
+  run.result = program.CollectResult();
+  run.stats.seconds = timer.ElapsedSeconds();
+  run.stats.supersteps = stats.supersteps;
+  run.stats.peak_layer_bytes = loaded_bytes;
+  run.stats.materialized_bytes = program.StateBytes();
+  run.stats.result_tuples = run.result.TotalTuples();
+  return run;
+}
+
+}  // namespace ariadne

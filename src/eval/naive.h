@@ -1,0 +1,33 @@
+#ifndef ARIADNE_EVAL_NAIVE_H_
+#define ARIADNE_EVAL_NAIVE_H_
+
+#include "common/status.h"
+#include "eval/common.h"
+#include "graph/graph.h"
+#include "provenance/store.h"
+
+namespace ariadne {
+
+/// The traditional baseline (paper §6.2 "Naive"): materialize the entire
+/// provenance graph into one database and run stratified semi-naive
+/// evaluation to fixpoint. Correct for every query class, but memory
+/// scales with the whole provenance graph — this is the mode that "was
+/// not able to scale beyond the two smallest datasets" in the paper.
+class NaiveEvaluator {
+ public:
+  /// `query` must be analyzed offline against `store->ToStoreSchema()`.
+  NaiveEvaluator(const Graph* graph, ProvenanceStore* store,
+                 const AnalyzedQuery* query)
+      : graph_(graph), store_(store), query_(query) {}
+
+  Result<OfflineRun> Run();
+
+ private:
+  const Graph* graph_;
+  ProvenanceStore* store_;
+  const AnalyzedQuery* query_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_EVAL_NAIVE_H_

@@ -1,0 +1,491 @@
+#ifndef ARIADNE_EVAL_ONLINE_H_
+#define ARIADNE_EVAL_ONLINE_H_
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "analytics/value_traits.h"
+#include "common/logging.h"
+#include "engine/vertex_program.h"
+#include "eval/common.h"
+#include "provenance/store.h"
+
+namespace ariadne {
+
+/// Envelope around an analytic's message during online/capture runs:
+/// the sender id (needed by the receive-message provenance relation) and
+/// an optional bundle of query tables riding along (paper §5.2).
+template <typename M>
+struct OnlineMessage {
+  VertexId src = 0;
+  M payload{};
+  ShipBundlePtr ships;  ///< shared by all messages of one scatter
+};
+
+struct OnlineOptions {
+  /// Persist derived relations (plus the superstep/evolution skeleton)
+  /// into `store`, layer by layer — this is capture mode (paper Fig 1a).
+  /// With a null store the run is pure online querying (paper Fig 2).
+  ProvenanceStore* store = nullptr;
+  /// EDB history window in supersteps (0 = keep everything). Safe for
+  /// queries that only join the previous activation (evolution / i-1).
+  int retention_window = 0;
+  /// Disable the compiled projection fast path for capture queries and
+  /// interpret them like any other query (ablation / fair comparisons).
+  bool disable_fast_capture = false;
+};
+
+/// Wraps an unmodified analytic `P` and evaluates a forward PQL query in
+/// lockstep with it (paper §5.2, Theorem 5.4). The wrapper is itself an
+/// ordinary vertex program: the engine is untouched, the analytic is
+/// untouched, and query tables ride on the analytic's own messages.
+///
+/// The same wrapper implements declarative capture (paper Fig 1a): with a
+/// ProvenanceStore attached, the query's derived tuples are persisted per
+/// layer. Projection-only capture queries (paper Queries 2 and 11) take a
+/// compiled fast path that bypasses Datalog evaluation entirely.
+template <typename P>
+class OnlineProgram final
+    : public VertexProgram<typename P::ValueType,
+                           OnlineMessage<typename P::MessageType>> {
+ public:
+  using V = typename P::ValueType;
+  using M = typename P::MessageType;
+  using WrappedMessage = OnlineMessage<M>;
+
+  /// All pointers must outlive the program. `query` must be analyzed with
+  /// transient EDBs allowed and must pass ValidateMode for kOnline.
+  OnlineProgram(P* analytic, const AnalyzedQuery* query, const Graph* graph,
+                OnlineOptions options = {})
+      : analytic_(analytic),
+        query_(query),
+        graph_(graph),
+        options_(options),
+        evaluator_(query) {
+    value_pred_ = query_->PredId("value");
+    vertex_value_now_pred_ = query_->PredId("vertex-value");
+    superstep_pred_ = query_->PredId("superstep");
+    evolution_pred_ = query_->PredId("evolution");
+    send_pred_ = query_->PredId("send-message");
+    send_now_pred_ = query_->PredId("send");
+    receive_pred_ = query_->PredId("receive-message");
+    receive_now_pred_ = query_->PredId("receive");
+    if (options_.store != nullptr) {
+      for (int pred : query_->output_preds()) {
+        capture_rels_.push_back(options_.store->AddRelation(
+            query_->pred(pred).name, query_->pred(pred).arity));
+      }
+      skeleton_superstep_rel_ = options_.store->AddRelation("superstep", 2);
+      skeleton_evolution_rel_ = options_.store->AddRelation("evolution", 3);
+    }
+  }
+
+  // ---- VertexProgram interface (transparent delegation) ----
+
+  V InitialValue(VertexId id, const Graph& graph) const override {
+    return analytic_->InitialValue(id, graph);
+  }
+
+  void RegisterAggregators(AggregatorRegistry& registry) override {
+    analytic_->RegisterAggregators(registry);
+    // Run start: reset wrapper state.
+    states_.clear();
+    states_.resize(static_cast<size_t>(graph_->num_vertices()));
+    last_active_.assign(static_cast<size_t>(graph_->num_vertices()), -1);
+    current_layer_ = Layer{};
+    first_error_ = Status::OK();
+    if (options_.store != nullptr) ProjectStaticCapture();
+  }
+
+  void MasterCompute(MasterContext& master) override {
+    analytic_->MasterCompute(master);
+    if (options_.store != nullptr) {
+      std::lock_guard<std::mutex> lock(mu_);
+      Layer sealed = std::move(current_layer_);
+      sealed.step = master.superstep;
+      current_layer_ = Layer{};
+      Status s = options_.store->AppendLayer(std::move(sealed));
+      if (!s.ok() && first_error_.ok()) first_error_ = s;
+    }
+  }
+
+  void Compute(VertexContext<V, WrappedMessage>& ctx,
+               std::span<const WrappedMessage> messages) override {
+    const VertexId v = ctx.id();
+    const Superstep step = ctx.superstep();
+
+    // 1. Run the analytic against an adapter that buffers its sends.
+    Adapter adapter(&ctx);
+    std::vector<M> payloads;
+    payloads.reserve(messages.size());
+    for (const auto& m : messages) payloads.push_back(m.payload);
+    analytic_->Compute(adapter, payloads);
+
+    // 2. Evaluate the query over the transient provenance of this step.
+    ShipBundlePtr outgoing_ships;
+    if (query_->fast_capture().has_value() && options_.store != nullptr &&
+        !options_.disable_fast_capture) {
+      FastCapture(ctx, adapter, messages);
+    } else {
+      outgoing_ships = GenericEvaluate(ctx, adapter, messages);
+    }
+    last_active_[static_cast<size_t>(v)] = step;
+
+    // 3. Release the analytic's messages, with query tables attached.
+    //    Ships only ride analytic messages (Theorem 5.4 part ii).
+    for (auto& [target, payload] : adapter.sends) {
+      ctx.SendMessage(target,
+                      WrappedMessage{v, std::move(payload), outgoing_ships});
+    }
+    if (adapter.voted_halt) ctx.VoteToHalt();
+  }
+
+  // ---- Results ----
+
+  /// Union of the query's derived tables across all vertices.
+  QueryResult CollectResult() const {
+    QueryResult result;
+    for (const auto& state : states_) {
+      if (state.db != nullptr) result.Merge(*query_, *state.db);
+    }
+    return result;
+  }
+
+  /// First evaluation error encountered (OK when the run was clean).
+  const Status& status() const { return first_error_; }
+
+  /// Bytes held by per-vertex query databases (transient provenance).
+  size_t TransientBytes() const {
+    size_t bytes = 0;
+    for (const auto& state : states_) {
+      if (state.db != nullptr) bytes += state.db->TotalBytes();
+    }
+    return bytes;
+  }
+
+ private:
+  /// Presents the plain VertexContext<V, M> face to the analytic while
+  /// buffering its sends for ship attachment.
+  class Adapter final : public VertexContext<V, M> {
+   public:
+    explicit Adapter(VertexContext<V, WrappedMessage>* real) : real_(real) {}
+
+    VertexId id() const override { return real_->id(); }
+    Superstep superstep() const override { return real_->superstep(); }
+    const Graph& graph() const override { return real_->graph(); }
+    const V& value() const override { return real_->value(); }
+    void SetValue(V value) override { real_->SetValue(std::move(value)); }
+    void SendMessage(VertexId target, M message) override {
+      sends.emplace_back(target, std::move(message));
+    }
+    void VoteToHalt() override { voted_halt = true; }
+    void AggregateDouble(const std::string& name, double v) override {
+      real_->AggregateDouble(name, v);
+    }
+    double GetAggregate(const std::string& name) const override {
+      return real_->GetAggregate(name);
+    }
+
+    std::vector<std::pair<VertexId, M>> sends;
+    bool voted_halt = false;
+
+   private:
+    VertexContext<V, WrappedMessage>* real_;
+  };
+
+  NodeQueryState& state(VertexId v) {
+    return states_[static_cast<size_t>(v)];
+  }
+
+  /// Generic path: materialize this step's EDB facts, deliver arrived
+  /// ships, run the stratified evaluator, collect ship deltas, persist
+  /// capture deltas.
+  ShipBundlePtr GenericEvaluate(VertexContext<V, WrappedMessage>& ctx,
+                                Adapter& adapter,
+                                std::span<const WrappedMessage> messages) {
+    const VertexId v = ctx.id();
+    const Superstep step = ctx.superstep();
+    NodeQueryState& st = state(v);
+    Database& db = st.EnsureDb(*query_);
+    const Value loc(static_cast<int64_t>(v));
+    const Value step_v(static_cast<int64_t>(step));
+
+    // Transient views describe only the current superstep. The superstep
+    // relation is also current-activation-only during online evaluation:
+    // past activations are reachable via evolution and the step columns
+    // of value/send-message/receive-message (see catalog.h).
+    for (int pred : {vertex_value_now_pred_, send_now_pred_, receive_now_pred_,
+                     superstep_pred_}) {
+      if (pred < 0) continue;
+      Relation* rel = db.MutableRelIfExists(pred);
+      if (rel != nullptr && !rel->empty()) rel->Clear();
+    }
+
+    // Arrived ships + receive facts.
+    for (const auto& m : messages) {
+      if (m.ships != nullptr) DeliverShips(db, *m.ships);
+      if (receive_pred_ >= 0 || receive_now_pred_ >= 0) {
+        Value payload = ValueTraits<M>::ToValue(m.payload);
+        if (receive_pred_ >= 0) {
+          db.Rel(receive_pred_)
+              .Insert({loc, Value(static_cast<int64_t>(m.src)), payload,
+                       step_v});
+        }
+        if (receive_now_pred_ >= 0) {
+          db.Rel(receive_now_pred_)
+              .Insert({loc, Value(static_cast<int64_t>(m.src)),
+                       std::move(payload)});
+        }
+      }
+    }
+
+    // Post-compute vertex state.
+    if (value_pred_ >= 0) {
+      db.Rel(value_pred_)
+          .Insert({loc, ValueTraits<V>::ToValue(ctx.value()), step_v});
+    }
+    if (vertex_value_now_pred_ >= 0) {
+      db.Rel(vertex_value_now_pred_)
+          .Insert({loc, ValueTraits<V>::ToValue(ctx.value())});
+    }
+    if (superstep_pred_ >= 0) {
+      db.Rel(superstep_pred_).Insert({loc, step_v});
+    }
+    const Superstep prev = last_active_[static_cast<size_t>(v)];
+    if (evolution_pred_ >= 0 && prev >= 0) {
+      db.Rel(evolution_pred_)
+          .Insert({loc, Value(static_cast<int64_t>(prev)), step_v});
+    }
+    for (const auto& [target, payload] : adapter.sends) {
+      if (send_pred_ < 0 && send_now_pred_ < 0) break;
+      Value pv = ValueTraits<M>::ToValue(payload);
+      if (send_pred_ >= 0) {
+        db.Rel(send_pred_)
+            .Insert({loc, Value(static_cast<int64_t>(target)), pv, step_v});
+      }
+      if (send_now_pred_ >= 0) {
+        db.Rel(send_now_pred_)
+            .Insert({loc, Value(static_cast<int64_t>(target)),
+                     std::move(pv)});
+      }
+    }
+
+    // Stratified fixpoint over this node's database.
+    EvalContext ectx;
+    ectx.db = &db;
+    ectx.graph = graph_;
+    ectx.local_vertex = v;
+    auto evaluated = evaluator_.Evaluate(ectx);
+    if (!evaluated.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (first_error_.ok()) first_error_ = evaluated.status();
+    }
+
+    // Ship deltas leave only when the analytic actually sends (the
+    // receive-message guard means nobody can reference them otherwise).
+    ShipBundlePtr ships;
+    if (!adapter.sends.empty()) {
+      ships = CollectShipDelta(*query_, st, v);
+    }
+
+    if (options_.store != nullptr) PersistCaptureDeltas(st, v, prev, step);
+
+    // Retention rebuilds relations (resetting semi-naive watermarks), so
+    // amortize it: trim every 2*window steps, keeping at most 3*window of
+    // history — still O(window) memory, without per-step rebuild costs.
+    if (options_.retention_window > 0 &&
+        step - st.last_retention >= 2 * options_.retention_window) {
+      ApplyRetention(*query_, db, step, options_.retention_window);
+      st.last_retention = step;
+    }
+    return ships;
+  }
+
+  /// Appends newly derived output tuples (and the superstep/evolution
+  /// skeleton) of vertex `v` to the current layer. Only tuples located at
+  /// `v` are persisted: tuples that arrived via ships belong to their own
+  /// vertex's layer slices (persisting copies would multiply the store by
+  /// the average degree).
+  void PersistCaptureDeltas(NodeQueryState& st, VertexId v, Superstep prev,
+                            Superstep step) {
+    const auto& outputs = query_->output_preds();
+    const Value self_loc(static_cast<int64_t>(v));
+    std::vector<std::pair<int, std::vector<Tuple>>> deltas;
+    for (size_t k = 0; k < outputs.size(); ++k) {
+      const Relation* rel = st.db->RelIfExists(outputs[k]);
+      const size_t size = rel == nullptr ? 0 : rel->size();
+      size_t& watermark = st.capture_watermarks[k];
+      if (size > watermark) {
+        std::vector<Tuple> local;
+        local.reserve(size - watermark);
+        for (size_t i = watermark; i < size; ++i) {
+          const Tuple& t = rel->row(i);
+          if (!t.empty() && t[0] == self_loc) local.push_back(t);
+        }
+        watermark = size;
+        if (!local.empty()) {
+          deltas.emplace_back(static_cast<int>(k), std::move(local));
+        }
+      }
+    }
+    if (deltas.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [k, tuples] : deltas) {
+      current_layer_.Add(capture_rels_[static_cast<size_t>(k)], v,
+                         std::move(tuples));
+    }
+    AppendSkeletonLocked(v, prev, step);
+  }
+
+  void AppendSkeletonLocked(VertexId v, Superstep prev, Superstep step) {
+    const Value loc(static_cast<int64_t>(v));
+    current_layer_.Add(skeleton_superstep_rel_, v,
+                       {{loc, Value(static_cast<int64_t>(step))}});
+    if (prev >= 0) {
+      current_layer_.Add(skeleton_evolution_rel_, v,
+                         {{loc, Value(static_cast<int64_t>(prev)),
+                           Value(static_cast<int64_t>(step))}});
+    }
+  }
+
+  /// Fast path for projection-only capture queries: no per-vertex
+  /// database, records project straight into the layer.
+  void FastCapture(VertexContext<V, WrappedMessage>& ctx, Adapter& adapter,
+                   std::span<const WrappedMessage> messages) {
+    const VertexId v = ctx.id();
+    const Superstep step = ctx.superstep();
+    const Value loc(static_cast<int64_t>(v));
+    const Value step_v(static_cast<int64_t>(step));
+    const auto& plan = *query_->fast_capture();
+
+    std::vector<std::pair<int, std::vector<Tuple>>> out;
+    // Provenance relations are sets: duplicate identical events (e.g. a
+    // WCC vertex messaging a reciprocal neighbor via both adjacency
+    // directions) must collapse, exactly as the interpreted path dedups.
+    std::unordered_set<Tuple, TupleHash> seen;
+    auto project = [&](const FastCaptureProjection& projection,
+                       const Tuple& source, std::vector<Tuple>& sink) {
+      Tuple t;
+      t.reserve(projection.columns.size());
+      for (int col : projection.columns) {
+        t.push_back(col == -1 ? step_v : source[static_cast<size_t>(col)]);
+      }
+      if (seen.insert(t).second) sink.push_back(std::move(t));
+    };
+
+    for (size_t pi = 0; pi < plan.projections.size(); ++pi) {
+      const auto& projection = plan.projections[pi];
+      const int store_rel = FastCaptureRel(pi);
+      seen.clear();
+      std::vector<Tuple> tuples;
+      switch (projection.source) {
+        case EdbKind::kVertexValueNow:
+          project(projection, {loc, ValueTraits<V>::ToValue(ctx.value())},
+                  tuples);
+          break;
+        case EdbKind::kValue:
+          project(projection,
+                  {loc, ValueTraits<V>::ToValue(ctx.value()), step_v},
+                  tuples);
+          break;
+        case EdbKind::kSendNow:
+        case EdbKind::kSendMessage:
+          for (const auto& [target, payload] : adapter.sends) {
+            project(projection,
+                    {loc, Value(static_cast<int64_t>(target)),
+                     ValueTraits<M>::ToValue(payload), step_v},
+                    tuples);
+          }
+          break;
+        case EdbKind::kReceiveNow:
+        case EdbKind::kReceiveMessage:
+          for (const auto& m : messages) {
+            project(projection,
+                    {loc, Value(static_cast<int64_t>(m.src)),
+                     ValueTraits<M>::ToValue(m.payload), step_v},
+                    tuples);
+          }
+          break;
+        case EdbKind::kEdge:
+          break;  // static, projected once in ProjectStaticCapture
+        default:
+          break;
+      }
+      if (!tuples.empty()) out.emplace_back(store_rel, std::move(tuples));
+    }
+    if (out.empty()) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [rel, tuples] : out) {
+      current_layer_.Add(rel, v, std::move(tuples));
+    }
+    AppendSkeletonLocked(v, last_active_[static_cast<size_t>(v)], step);
+  }
+
+  /// Store relation id for fast-capture projection `pi` (its head pred's
+  /// position among the query outputs).
+  int FastCaptureRel(size_t pi) const {
+    const int head = (*query_->fast_capture()).projections[pi].head_pred;
+    const auto& outputs = query_->output_preds();
+    for (size_t k = 0; k < outputs.size(); ++k) {
+      if (outputs[k] == head) return capture_rels_[k];
+    }
+    ARIADNE_CHECK(false);
+    return -1;
+  }
+
+  /// Projects static (edge-sourced) capture rules into the store's static
+  /// segment, once per run.
+  void ProjectStaticCapture() {
+    if (!query_->fast_capture().has_value()) return;
+    const auto& plan = *query_->fast_capture();
+    for (size_t pi = 0; pi < plan.projections.size(); ++pi) {
+      const auto& projection = plan.projections[pi];
+      if (projection.source != EdbKind::kEdge) continue;
+      const int store_rel = FastCaptureRel(pi);
+      for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+        std::vector<Tuple> tuples;
+        const Value loc(static_cast<int64_t>(v));
+        for (VertexId u : graph_->OutNeighbors(v)) {
+          Tuple source{loc, Value(static_cast<int64_t>(u))};
+          Tuple t;
+          t.reserve(projection.columns.size());
+          for (int col : projection.columns) {
+            ARIADNE_CHECK(col >= 0);
+            t.push_back(source[static_cast<size_t>(col)]);
+          }
+          tuples.push_back(std::move(t));
+        }
+        options_.store->static_layer().Add(store_rel, v, std::move(tuples));
+      }
+    }
+  }
+
+  P* analytic_;
+  const AnalyzedQuery* query_;
+  const Graph* graph_;
+  OnlineOptions options_;
+  RuleEvaluator evaluator_;
+
+  int value_pred_ = -1, vertex_value_now_pred_ = -1;
+  int superstep_pred_ = -1, evolution_pred_ = -1;
+  int send_pred_ = -1, send_now_pred_ = -1;
+  int receive_pred_ = -1, receive_now_pred_ = -1;
+
+  std::vector<NodeQueryState> states_;
+  std::vector<Superstep> last_active_;
+  std::vector<int> capture_rels_;  ///< store rel per output pred position
+  int skeleton_superstep_rel_ = -1;
+  int skeleton_evolution_rel_ = -1;
+
+  std::mutex mu_;
+  Layer current_layer_;
+  Status first_error_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_EVAL_ONLINE_H_

@@ -1,0 +1,166 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/random.h"
+
+namespace ariadne {
+
+Result<Graph> GenerateRmat(const RmatOptions& options) {
+  if (options.scale < 1 || options.scale > 30) {
+    return Status::InvalidArgument("rmat scale must be in [1,30]");
+  }
+  const double d = 1.0 - options.a - options.b - options.c;
+  if (options.a < 0 || options.b < 0 || options.c < 0 || d < 0) {
+    return Status::InvalidArgument("rmat probabilities must be >= 0 and sum <= 1");
+  }
+  const VertexId n = VertexId{1} << options.scale;
+  const int64_t m = static_cast<int64_t>(options.avg_degree * static_cast<double>(n));
+  Rng rng(options.seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (int64_t i = 0; i < m; ++i) {
+    VertexId src = 0, dst = 0;
+    for (int level = 0; level < options.scale; ++level) {
+      const double u = rng.NextDouble();
+      int quadrant;
+      if (u < options.a) {
+        quadrant = 0;
+      } else if (u < options.a + options.b) {
+        quadrant = 1;
+      } else if (u < options.a + options.b + options.c) {
+        quadrant = 2;
+      } else {
+        quadrant = 3;
+      }
+      src = (src << 1) | (quadrant >> 1);
+      dst = (dst << 1) | (quadrant & 1);
+    }
+    builder.AddEdge(src, dst,
+                    rng.NextDouble(options.min_weight, options.max_weight));
+  }
+  if (options.drop_self_loops) builder.DropSelfLoops();
+  if (options.dedup) builder.Dedup();
+  return builder.Build();
+}
+
+Result<Graph> GenerateErdosRenyi(VertexId n, int64_t m, uint64_t seed,
+                                 bool dedup) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  Rng rng(seed);
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (int64_t i = 0; i < m; ++i) {
+    const VertexId src = static_cast<VertexId>(rng.NextUInt(static_cast<uint64_t>(n)));
+    VertexId dst = static_cast<VertexId>(rng.NextUInt(static_cast<uint64_t>(n)));
+    if (dst == src) dst = (dst + 1) % n;
+    builder.AddEdge(src, dst, rng.NextDouble());
+  }
+  if (dedup) builder.Dedup();
+  return builder.Build();
+}
+
+Result<Graph> GenerateChain(VertexId n) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1, 1.0);
+  return builder.Build();
+}
+
+Result<Graph> GenerateCycle(VertexId n) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n, 1.0);
+  return builder.Build();
+}
+
+Result<Graph> GenerateStar(VertexId n) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId v = 1; v < n; ++v) {
+    builder.AddEdge(0, v, 1.0);
+    builder.AddEdge(v, 0, 1.0);
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateGrid(VertexId rows, VertexId cols) {
+  if (rows <= 0 || cols <= 0) {
+    return Status::InvalidArgument("grid dims must be positive");
+  }
+  GraphBuilder builder;
+  builder.EnsureVertices(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        builder.AddEdge(id(r, c), id(r, c + 1), 1.0);
+        builder.AddEdge(id(r, c + 1), id(r, c), 1.0);
+      }
+      if (r + 1 < rows) {
+        builder.AddEdge(id(r, c), id(r + 1, c), 1.0);
+        builder.AddEdge(id(r + 1, c), id(r, c), 1.0);
+      }
+    }
+  }
+  return builder.Build();
+}
+
+Result<Graph> GenerateComplete(VertexId n) {
+  if (n <= 0) return Status::InvalidArgument("n must be positive");
+  GraphBuilder builder;
+  builder.EnsureVertices(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = 0; v < n; ++v) {
+      if (u != v) builder.AddEdge(u, v, 1.0);
+    }
+  }
+  return builder.Build();
+}
+
+Result<BipartiteRatings> GenerateBipartiteRatings(
+    const BipartiteRatingsOptions& options) {
+  if (options.num_users <= 0 || options.num_items <= 0) {
+    return Status::InvalidArgument("users/items must be positive");
+  }
+  if (options.ratings_per_user <= 0 ||
+      options.ratings_per_user > options.num_items) {
+    return Status::InvalidArgument("ratings_per_user must be in [1, num_items]");
+  }
+  Rng rng(options.seed);
+  ZipfSampler zipf(static_cast<size_t>(options.num_items),
+                   options.zipf_exponent);
+
+  // Base item qualities so the rating matrix has learnable structure.
+  std::vector<double> item_quality(static_cast<size_t>(options.num_items));
+  for (auto& q : item_quality) {
+    q = rng.NextDouble(options.min_rating, options.max_rating);
+  }
+
+  GraphBuilder builder;
+  builder.EnsureVertices(options.num_users + options.num_items);
+  std::unordered_set<VertexId> picked;
+  for (VertexId u = 0; u < options.num_users; ++u) {
+    picked.clear();
+    const double user_bias = rng.NextDouble(-0.5, 0.5);
+    while (static_cast<int>(picked.size()) < options.ratings_per_user) {
+      const VertexId item = static_cast<VertexId>(zipf.Sample(rng));
+      if (!picked.insert(item).second) continue;
+      double rating = item_quality[static_cast<size_t>(item)] + user_bias +
+                      rng.NextDouble(-0.5, 0.5);
+      rating = std::clamp(rating, options.min_rating, options.max_rating);
+      const VertexId item_vertex = options.num_users + item;
+      builder.AddEdge(u, item_vertex, rating);
+      builder.AddEdge(item_vertex, u, rating);
+    }
+  }
+  ARIADNE_ASSIGN_OR_RETURN(Graph g, builder.Build());
+  return BipartiteRatings{std::move(g), options.num_users, options.num_items};
+}
+
+}  // namespace ariadne

@@ -1,0 +1,81 @@
+#ifndef ARIADNE_GRAPH_GENERATORS_H_
+#define ARIADNE_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ariadne {
+
+/// Options for the R-MAT generator (Chakrabarti et al.), the stand-in for
+/// the paper's web crawls (indochina-2004, uk-2002, arabic-2005, uk-2005).
+/// Defaults reproduce a skewed, small-diameter web-like degree
+/// distribution with average degree ~= `avg_degree`.
+struct RmatOptions {
+  int scale = 14;             ///< num_vertices = 2^scale
+  double avg_degree = 16.0;   ///< edges = avg_degree * num_vertices
+  double a = 0.57, b = 0.19, c = 0.19;  ///< R-MAT quadrant probabilities (d = 1-a-b-c)
+  uint64_t seed = 42;
+  bool dedup = true;          ///< drop parallel edges
+  bool drop_self_loops = true;
+  double min_weight = 0.0;    ///< uniform edge weights in [min_weight, max_weight)
+  double max_weight = 1.0;
+};
+
+/// Generates an R-MAT graph. Weights are uniform in
+/// [min_weight, max_weight) — the paper assigns random 0-1 weights for SSSP.
+Result<Graph> GenerateRmat(const RmatOptions& options);
+
+/// G(n, m) Erdős–Rényi-style digraph: m directed edges sampled uniformly.
+Result<Graph> GenerateErdosRenyi(VertexId n, int64_t m, uint64_t seed,
+                                 bool dedup = true);
+
+/// Directed chain 0 -> 1 -> ... -> n-1 (unit weights). Maximal-diameter
+/// stress case for layered evaluation.
+Result<Graph> GenerateChain(VertexId n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Result<Graph> GenerateCycle(VertexId n);
+
+/// Star: hub 0 with spokes 1..n-1 (edges hub -> spoke and spoke -> hub).
+Result<Graph> GenerateStar(VertexId n);
+
+/// 2D grid with bidirectional edges between 4-neighbors.
+Result<Graph> GenerateGrid(VertexId rows, VertexId cols);
+
+/// Complete digraph on n vertices (no self loops).
+Result<Graph> GenerateComplete(VertexId n);
+
+/// Options for the synthetic bipartite ratings graph — the stand-in for
+/// MovieLens-20M in the ALS experiments (paper §6, dataset ML-20).
+struct BipartiteRatingsOptions {
+  VertexId num_users = 2000;
+  VertexId num_items = 500;
+  int ratings_per_user = 50;   ///< sampled without replacement per user
+  double zipf_exponent = 1.1;  ///< item popularity skew
+  double min_rating = 0.0;
+  double max_rating = 5.0;
+  uint64_t seed = 7;
+};
+
+/// Generated bipartite graph plus the id layout (users first, then items).
+struct BipartiteRatings {
+  Graph graph;          ///< edges user <-> item in both directions, weight = rating
+  VertexId num_users;   ///< users are vertices [0, num_users)
+  VertexId num_items;   ///< items are vertices [num_users, num_users+num_items)
+
+  bool IsUser(VertexId v) const { return v < num_users; }
+};
+
+/// Generates user->item ratings with Zipf item popularity; every rating
+/// appears as two directed edges (user->item, item->user) so ALS's
+/// alternating message exchange works on the plain VC engine. Ratings are
+/// drawn from a per-item base quality plus user noise, clamped to
+/// [min_rating, max_rating].
+Result<BipartiteRatings> GenerateBipartiteRatings(
+    const BipartiteRatingsOptions& options);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_GRAPH_GENERATORS_H_

@@ -1,0 +1,121 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ariadne {
+
+Result<Graph> Graph::FromEdges(VertexId num_vertices,
+                               std::vector<Edge> edges) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  for (const Edge& e : edges) {
+    if (e.src < 0 || e.src >= num_vertices || e.dst < 0 ||
+        e.dst >= num_vertices) {
+      return Status::OutOfRange("edge (" + std::to_string(e.src) + "," +
+                                std::to_string(e.dst) +
+                                ") references vertex outside [0," +
+                                std::to_string(num_vertices) + ")");
+    }
+  }
+
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  const size_t m = edges.size();
+
+  // Counting sort into CSR, out-direction.
+  g.out_offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) ++g.out_offsets_[e.src + 1];
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+  g.out_dst_.resize(m);
+  g.out_weight_.resize(m);
+  {
+    std::vector<int64_t> cursor(g.out_offsets_.begin(),
+                                g.out_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      const int64_t pos = cursor[e.src]++;
+      g.out_dst_[pos] = e.dst;
+      g.out_weight_[pos] = e.weight;
+    }
+  }
+
+  // In-direction.
+  g.in_offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const Edge& e : edges) ++g.in_offsets_[e.dst + 1];
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_src_.resize(m);
+  g.in_weight_.resize(m);
+  {
+    std::vector<int64_t> cursor(g.in_offsets_.begin(), g.in_offsets_.end() - 1);
+    for (const Edge& e : edges) {
+      const int64_t pos = cursor[e.dst]++;
+      g.in_src_[pos] = e.src;
+      g.in_weight_[pos] = e.weight;
+    }
+  }
+
+  // Sort adjacency lists for deterministic iteration and binary-searchable
+  // HasEdge; weights move with their neighbor.
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const int64_t b = g.out_offsets_[v], e = g.out_offsets_[v + 1];
+    std::vector<std::pair<VertexId, double>> tmp;
+    tmp.reserve(static_cast<size_t>(e - b));
+    for (int64_t i = b; i < e; ++i) tmp.emplace_back(g.out_dst_[i], g.out_weight_[i]);
+    std::sort(tmp.begin(), tmp.end());
+    for (int64_t i = b; i < e; ++i) {
+      g.out_dst_[i] = tmp[static_cast<size_t>(i - b)].first;
+      g.out_weight_[i] = tmp[static_cast<size_t>(i - b)].second;
+    }
+    const int64_t ib = g.in_offsets_[v], ie = g.in_offsets_[v + 1];
+    tmp.clear();
+    for (int64_t i = ib; i < ie; ++i) tmp.emplace_back(g.in_src_[i], g.in_weight_[i]);
+    std::sort(tmp.begin(), tmp.end());
+    for (int64_t i = ib; i < ie; ++i) {
+      g.in_src_[i] = tmp[static_cast<size_t>(i - ib)].first;
+      g.in_weight_[i] = tmp[static_cast<size_t>(i - ib)].second;
+    }
+  }
+  return g;
+}
+
+bool Graph::HasEdge(VertexId src, VertexId dst) const {
+  auto nbrs = OutNeighbors(src);
+  return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+void GraphBuilder::AddEdge(VertexId src, VertexId dst, double weight) {
+  edges_.push_back(Edge{src, dst, weight});
+  num_vertices_ = std::max(num_vertices_, std::max(src, dst) + 1);
+}
+
+void GraphBuilder::EnsureVertices(VertexId n) {
+  num_vertices_ = std::max(num_vertices_, n);
+}
+
+void GraphBuilder::Dedup() {
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return std::tie(a.src, a.dst) < std::tie(b.src, b.dst);
+  });
+  edges_.erase(std::unique(edges_.begin(), edges_.end(),
+                           [](const Edge& a, const Edge& b) {
+                             return a.src == b.src && a.dst == b.dst;
+                           }),
+               edges_.end());
+}
+
+void GraphBuilder::DropSelfLoops() {
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const Edge& e) { return e.src == e.dst; }),
+               edges_.end());
+}
+
+Result<Graph> GraphBuilder::Build() {
+  return Graph::FromEdges(num_vertices_, std::move(edges_));
+}
+
+}  // namespace ariadne

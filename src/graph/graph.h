@@ -1,0 +1,121 @@
+#ifndef ARIADNE_GRAPH_GRAPH_H_
+#define ARIADNE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ariadne {
+
+/// Vertex identifier. Vertices of a Graph are dense ids [0, num_vertices).
+using VertexId = int64_t;
+
+/// A directed, weighted edge used during graph construction.
+struct Edge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  double weight = 1.0;
+
+  bool operator==(const Edge& other) const = default;
+};
+
+/// Immutable directed graph in CSR (compressed sparse row) form with both
+/// out- and in-adjacency, plus per-edge double weights. This is the input
+/// graph the VC engine iterates over; provenance annotates its vertices
+/// (compact representation, paper §3).
+class Graph {
+ public:
+  /// Builds a graph with `num_vertices` vertices (ids [0, num_vertices))
+  /// from an edge list. Edges referencing out-of-range vertices are an
+  /// error. Parallel edges are kept (VC engines permit them); callers that
+  /// need simple graphs deduplicate first (GraphBuilder::Dedup).
+  static Result<Graph> FromEdges(VertexId num_vertices,
+                                 std::vector<Edge> edges);
+
+  Graph() = default;
+
+  VertexId num_vertices() const { return num_vertices_; }
+  int64_t num_edges() const { return static_cast<int64_t>(out_dst_.size()); }
+
+  int64_t OutDegree(VertexId v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+  int64_t InDegree(VertexId v) const {
+    return in_offsets_[v + 1] - in_offsets_[v];
+  }
+
+  std::span<const VertexId> OutNeighbors(VertexId v) const {
+    return {out_dst_.data() + out_offsets_[v],
+            static_cast<size_t>(OutDegree(v))};
+  }
+  std::span<const double> OutWeights(VertexId v) const {
+    return {out_weight_.data() + out_offsets_[v],
+            static_cast<size_t>(OutDegree(v))};
+  }
+  std::span<const VertexId> InNeighbors(VertexId v) const {
+    return {in_src_.data() + in_offsets_[v], static_cast<size_t>(InDegree(v))};
+  }
+  std::span<const double> InWeights(VertexId v) const {
+    return {in_weight_.data() + in_offsets_[v],
+            static_cast<size_t>(InDegree(v))};
+  }
+
+  /// True if the directed edge (src, dst) exists (linear in OutDegree(src)).
+  bool HasEdge(VertexId src, VertexId dst) const;
+
+  double AverageDegree() const {
+    return num_vertices_ == 0
+               ? 0.0
+               : static_cast<double>(num_edges()) /
+                     static_cast<double>(num_vertices_);
+  }
+
+  /// Nominal on-disk footprint of the input graph (8 bytes per vertex,
+  /// 20 bytes per edge: src, dst, weight-as-float). The denominator of the
+  /// provenance/input size ratios in paper Tables 3-4.
+  size_t InputByteSize() const {
+    return static_cast<size_t>(num_vertices_) * 8 +
+           static_cast<size_t>(num_edges()) * 20;
+  }
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<int64_t> out_offsets_;  // size num_vertices_ + 1
+  std::vector<VertexId> out_dst_;
+  std::vector<double> out_weight_;
+  std::vector<int64_t> in_offsets_;
+  std::vector<VertexId> in_src_;
+  std::vector<double> in_weight_;
+};
+
+/// Incremental edge accumulator with id remapping and dedup helpers.
+class GraphBuilder {
+ public:
+  /// Adds a directed edge; grows the vertex count to cover both endpoints.
+  void AddEdge(VertexId src, VertexId dst, double weight = 1.0);
+
+  /// Ensures the graph has at least `n` vertices even if isolated.
+  void EnsureVertices(VertexId n);
+
+  /// Removes duplicate (src, dst) pairs, keeping the first weight.
+  void Dedup();
+
+  /// Drops self-loop edges (src == dst).
+  void DropSelfLoops();
+
+  int64_t num_edges() const { return static_cast<int64_t>(edges_.size()); }
+  VertexId num_vertices() const { return num_vertices_; }
+
+  Result<Graph> Build();
+
+ private:
+  VertexId num_vertices_ = 0;
+  std::vector<Edge> edges_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_GRAPH_GRAPH_H_

@@ -1,0 +1,104 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/serialize.h"
+#include "common/string_util.h"
+
+namespace ariadne {
+
+namespace {
+constexpr uint32_t kBinaryMagic = 0x41524731;  // "ARG1"
+}  // namespace
+
+Result<Graph> LoadEdgeList(const std::string& path,
+                           VertexId num_vertices_hint) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open edge list: " + path);
+  GraphBuilder builder;
+  builder.EnsureVertices(num_vertices_hint);
+  std::string line;
+  int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+    std::istringstream ls{std::string(trimmed)};
+    VertexId src, dst;
+    double weight = 1.0;
+    if (!(ls >> src >> dst)) {
+      return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                ": expected 'src dst [weight]'");
+    }
+    ls >> weight;  // optional
+    if (src < 0 || dst < 0) {
+      return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                ": negative vertex id");
+    }
+    builder.AddEdge(src, dst, weight);
+  }
+  return builder.Build();
+}
+
+Status SaveEdgeList(const Graph& graph, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out << "# ariadne edge list: " << graph.num_vertices() << " vertices, "
+      << graph.num_edges() << " edges\n";
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.OutNeighbors(v);
+    auto weights = graph.OutWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      out << v << " " << nbrs[i] << " " << weights[i] << "\n";
+    }
+  }
+  out.flush();
+  if (!out) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Status SaveBinary(const Graph& graph, const std::string& path) {
+  BinaryWriter w;
+  w.WriteU32(kBinaryMagic);
+  w.WriteI64(graph.num_vertices());
+  w.WriteI64(graph.num_edges());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    auto nbrs = graph.OutNeighbors(v);
+    auto weights = graph.OutWeights(v);
+    w.WriteI64(static_cast<int64_t>(nbrs.size()));
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      w.WriteI64(nbrs[i]);
+      w.WriteDouble(weights[i]);
+    }
+  }
+  return WriteFile(path, w.data());
+}
+
+Result<Graph> LoadBinary(const std::string& path) {
+  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  BinaryReader r(std::move(data));
+  ARIADNE_ASSIGN_OR_RETURN(uint32_t magic, r.ReadU32());
+  if (magic != kBinaryMagic) {
+    return Status::ParseError("bad magic in binary graph: " + path);
+  }
+  ARIADNE_ASSIGN_OR_RETURN(int64_t n, r.ReadI64());
+  ARIADNE_ASSIGN_OR_RETURN(int64_t m, r.ReadI64());
+  std::vector<Edge> edges;
+  edges.reserve(static_cast<size_t>(m));
+  for (VertexId v = 0; v < n; ++v) {
+    ARIADNE_ASSIGN_OR_RETURN(int64_t deg, r.ReadI64());
+    for (int64_t i = 0; i < deg; ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(int64_t dst, r.ReadI64());
+      ARIADNE_ASSIGN_OR_RETURN(double weight, r.ReadDouble());
+      edges.push_back(Edge{v, dst, weight});
+    }
+  }
+  if (static_cast<int64_t>(edges.size()) != m) {
+    return Status::ParseError("edge count mismatch in binary graph");
+  }
+  return Graph::FromEdges(n, std::move(edges));
+}
+
+}  // namespace ariadne

@@ -1,0 +1,29 @@
+#ifndef ARIADNE_GRAPH_IO_H_
+#define ARIADNE_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ariadne {
+
+/// Loads a whitespace-separated edge-list text file: one `src dst [weight]`
+/// per line; `#` and `%` lines are comments (SNAP / DIMACS-challenge
+/// style, matching the paper's dataset distribution format). Vertex ids
+/// must be non-negative; the vertex count is 1 + max id unless
+/// `num_vertices_hint` is larger.
+Result<Graph> LoadEdgeList(const std::string& path,
+                           VertexId num_vertices_hint = 0);
+
+/// Writes `src dst weight` lines; inverse of LoadEdgeList.
+Status SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Compact binary graph format (magic + counts + CSR arrays via
+/// BinaryWriter). Round-trips exactly.
+Status SaveBinary(const Graph& graph, const std::string& path);
+Result<Graph> LoadBinary(const std::string& path);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_GRAPH_IO_H_

@@ -1,0 +1,72 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ariadne {
+
+namespace {
+
+/// Longest finite BFS distance from `src` over out-edges.
+int64_t BfsEccentricity(const Graph& g, VertexId src) {
+  std::vector<int64_t> dist(static_cast<size_t>(g.num_vertices()), -1);
+  std::queue<VertexId> q;
+  dist[static_cast<size_t>(src)] = 0;
+  q.push(src);
+  int64_t max_dist = 0;
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (dist[static_cast<size_t>(u)] < 0) {
+        dist[static_cast<size_t>(u)] = dist[static_cast<size_t>(v)] + 1;
+        max_dist = std::max(max_dist, dist[static_cast<size_t>(u)]);
+        q.push(u);
+      }
+    }
+  }
+  return max_dist;
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const Graph& graph, int diameter_samples,
+                             uint64_t seed) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_edges = graph.num_edges();
+  stats.avg_degree = graph.AverageDegree();
+  stats.input_bytes = graph.InputByteSize();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    stats.max_out_degree = std::max(stats.max_out_degree, graph.OutDegree(v));
+    stats.max_in_degree = std::max(stats.max_in_degree, graph.InDegree(v));
+  }
+  if (graph.num_vertices() > 0 && diameter_samples > 0) {
+    Rng rng(seed);
+    double total = 0;
+    for (int i = 0; i < diameter_samples; ++i) {
+      const VertexId src = static_cast<VertexId>(
+          rng.NextUInt(static_cast<uint64_t>(graph.num_vertices())));
+      total += static_cast<double>(BfsEccentricity(graph, src));
+    }
+    stats.avg_diameter = total / diameter_samples;
+  }
+  return stats;
+}
+
+VertexId HighestDegreeVertex(const Graph& graph) {
+  VertexId best = 0;
+  int64_t best_degree = -1;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.OutDegree(v) > best_degree) {
+      best_degree = graph.OutDegree(v);
+      best = v;
+    }
+  }
+  return best;
+}
+
+}  // namespace ariadne

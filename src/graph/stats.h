@@ -1,0 +1,33 @@
+#ifndef ARIADNE_GRAPH_STATS_H_
+#define ARIADNE_GRAPH_STATS_H_
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace ariadne {
+
+/// Summary characteristics used by the Table 2 reproduction.
+struct GraphStats {
+  VertexId num_vertices = 0;
+  int64_t num_edges = 0;
+  double avg_degree = 0.0;
+  int64_t max_out_degree = 0;
+  int64_t max_in_degree = 0;
+  /// Average over sampled sources of the farthest BFS distance reached
+  /// (ignoring unreachable vertices) — an effective-diameter estimate
+  /// comparable to the paper's "Avg Diameter" column.
+  double avg_diameter = 0.0;
+  size_t input_bytes = 0;
+};
+
+/// Computes stats; `diameter_samples` BFS runs from seeded random sources.
+GraphStats ComputeGraphStats(const Graph& graph, int diameter_samples = 8,
+                             uint64_t seed = 1);
+
+/// Vertex with the largest out-degree (used to pick the paper's capture
+/// source for PageRank/WCC custom capture).
+VertexId HighestDegreeVertex(const Graph& graph);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_GRAPH_STATS_H_

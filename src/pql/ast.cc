@@ -1,0 +1,270 @@
+#include "pql/ast.h"
+
+#include <functional>
+
+namespace ariadne {
+
+Term Term::Var(std::string name) {
+  Term t;
+  t.kind = Kind::kVariable;
+  t.name = std::move(name);
+  return t;
+}
+
+Term Term::Const(Value v) {
+  Term t;
+  t.kind = Kind::kConstant;
+  t.constant = std::move(v);
+  return t;
+}
+
+Term Term::Param(std::string name) {
+  Term t;
+  t.kind = Kind::kParameter;
+  t.name = std::move(name);
+  return t;
+}
+
+Term Term::Arith(char op, Term lhs, Term rhs) {
+  Term t;
+  t.kind = Kind::kArith;
+  t.op = op;
+  t.lhs = std::make_shared<Term>(std::move(lhs));
+  t.rhs = std::make_shared<Term>(std::move(rhs));
+  return t;
+}
+
+void Term::CollectVars(std::set<std::string>& out) const {
+  switch (kind) {
+    case Kind::kVariable:
+      out.insert(name);
+      break;
+    case Kind::kArith:
+      lhs->CollectVars(out);
+      rhs->CollectVars(out);
+      break;
+    default:
+      break;
+  }
+}
+
+bool Term::HasParameter() const {
+  switch (kind) {
+    case Kind::kParameter:
+      return true;
+    case Kind::kArith:
+      return lhs->HasParameter() || rhs->HasParameter();
+    default:
+      return false;
+  }
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kVariable:
+      return name;
+    case Kind::kConstant:
+      return constant.ToString();
+    case Kind::kParameter:
+      return "$" + name;
+    case Kind::kArith:
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+  }
+  return "?";
+}
+
+const char* ComparisonOpToString(ComparisonOp op) {
+  switch (op) {
+    case ComparisonOp::kEq:
+      return "=";
+    case ComparisonOp::kNe:
+      return "!=";
+    case ComparisonOp::kLt:
+      return "<";
+    case ComparisonOp::kLe:
+      return "<=";
+    case ComparisonOp::kGt:
+      return ">";
+    case ComparisonOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string AtomLiteral::ToString() const {
+  std::string out = negated ? "!" : "";
+  out += predicate + "(";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += args[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+std::string ComparisonLiteral::ToString() const {
+  return lhs.ToString() + " " + ComparisonOpToString(op) + " " +
+         rhs.ToString();
+}
+
+BodyLiteral BodyLiteral::MakeAtom(AtomLiteral a) {
+  BodyLiteral lit;
+  lit.kind = Kind::kAtom;
+  lit.atom = std::move(a);
+  return lit;
+}
+
+BodyLiteral BodyLiteral::MakeComparison(ComparisonLiteral c) {
+  BodyLiteral lit;
+  lit.kind = Kind::kComparison;
+  lit.comparison = std::move(c);
+  return lit;
+}
+
+std::string BodyLiteral::ToString() const {
+  return kind == Kind::kAtom ? atom.ToString() : comparison.ToString();
+}
+
+const char* AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+    case AggregateFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string HeadTerm::ToString() const {
+  if (is_aggregate) {
+    return std::string(AggregateFnToString(aggregate)) + "(" +
+           aggregate_arg.ToString() + ")";
+  }
+  return term.ToString();
+}
+
+bool Rule::HasAggregate() const {
+  for (const auto& h : head) {
+    if (h.is_aggregate) return true;
+  }
+  return false;
+}
+
+std::string Rule::ToString() const {
+  std::string out = head_predicate + "(";
+  for (size_t i = 0; i < head.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += head[i].ToString();
+  }
+  out += ") <- ";
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += body[i].ToString();
+  }
+  out += ".";
+  return out;
+}
+
+namespace {
+
+Status BindTerm(Term& term,
+                const std::vector<std::pair<std::string, Value>>& params) {
+  switch (term.kind) {
+    case Term::Kind::kParameter: {
+      for (const auto& [name, value] : params) {
+        if (name == term.name) {
+          term = Term::Const(value);
+          return Status::OK();
+        }
+      }
+      return Status::InvalidArgument("unbound query parameter $" + term.name);
+    }
+    case Term::Kind::kArith: {
+      ARIADNE_RETURN_NOT_OK(BindTerm(*term.lhs, params));
+      return BindTerm(*term.rhs, params);
+    }
+    default:
+      return Status::OK();
+  }
+}
+
+void ForEachTerm(Program& program, const std::function<void(Term&)>& fn) {
+  for (auto& rule : program.rules) {
+    for (auto& h : rule.head) {
+      fn(h.term);
+      fn(h.aggregate_arg);
+    }
+    for (auto& lit : rule.body) {
+      if (lit.kind == BodyLiteral::Kind::kAtom) {
+        for (auto& a : lit.atom.args) fn(a);
+      } else {
+        fn(lit.comparison.lhs);
+        fn(lit.comparison.rhs);
+      }
+    }
+  }
+}
+
+void CollectParams(const Term& term, std::set<std::string>& out) {
+  switch (term.kind) {
+    case Term::Kind::kParameter:
+      out.insert(term.name);
+      break;
+    case Term::Kind::kArith:
+      CollectParams(*term.lhs, out);
+      CollectParams(*term.rhs, out);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace
+
+Status Program::BindParameters(
+    const std::vector<std::pair<std::string, Value>>& params) {
+  Status status;
+  ForEachTerm(*this, [&](Term& t) {
+    if (!status.ok()) return;
+    Status s = BindTerm(t, params);
+    // Keep the first error but continue traversal (ForEachTerm is void).
+    if (!s.ok()) status = s;
+  });
+  return status;
+}
+
+std::set<std::string> Program::UnboundParameters() const {
+  std::set<std::string> out;
+  for (const auto& rule : rules) {
+    for (const auto& h : rule.head) {
+      CollectParams(h.term, out);
+      CollectParams(h.aggregate_arg, out);
+    }
+    for (const auto& lit : rule.body) {
+      if (lit.kind == BodyLiteral::Kind::kAtom) {
+        for (const auto& a : lit.atom.args) CollectParams(a, out);
+      } else {
+        CollectParams(lit.comparison.lhs, out);
+        CollectParams(lit.comparison.rhs, out);
+      }
+    }
+  }
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const auto& rule : rules) {
+    out += rule.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ariadne

@@ -1,0 +1,123 @@
+#ifndef ARIADNE_PQL_AST_H_
+#define ARIADNE_PQL_AST_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace ariadne {
+
+/// A PQL term: variable, constant, named parameter ($eps, bound before
+/// analysis), or arithmetic expression over terms.
+struct Term {
+  enum class Kind { kVariable, kConstant, kParameter, kArith };
+
+  Kind kind = Kind::kConstant;
+  std::string name;                ///< variable or parameter name
+  Value constant;                  ///< kConstant payload
+  char op = 0;                     ///< kArith: one of + - * /
+  std::shared_ptr<Term> lhs, rhs;  ///< kArith children
+
+  static Term Var(std::string name);
+  static Term Const(Value v);
+  static Term Param(std::string name);
+  static Term Arith(char op, Term lhs, Term rhs);
+
+  bool IsVar() const { return kind == Kind::kVariable; }
+
+  /// Adds every variable occurring in this term to `out`.
+  void CollectVars(std::set<std::string>& out) const;
+
+  /// True if any kParameter remains (query not yet fully bound).
+  bool HasParameter() const;
+
+  std::string ToString() const;
+};
+
+/// θ of a comparison predicate t1 θ t2 (paper §4.2).
+enum class ComparisonOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* ComparisonOpToString(ComparisonOp op);
+
+/// Relational atom `name(args...)`, possibly negated. The first argument
+/// is the location specifier (paper §4.2). Function/predicate UDF calls
+/// are parsed as atoms and reclassified during analysis.
+struct AtomLiteral {
+  std::string predicate;
+  std::vector<Term> args;
+  bool negated = false;
+
+  std::string ToString() const;
+};
+
+/// Comparison predicate t1 θ t2. `=` with one unbound variable side acts
+/// as a binding (assignment) during evaluation, e.g. `j = i - 1`.
+struct ComparisonLiteral {
+  Term lhs;
+  ComparisonOp op = ComparisonOp::kEq;
+  Term rhs;
+
+  std::string ToString() const;
+};
+
+/// One conjunct of a rule body.
+struct BodyLiteral {
+  enum class Kind { kAtom, kComparison };
+
+  Kind kind = Kind::kAtom;
+  AtomLiteral atom;
+  ComparisonLiteral comparison;
+
+  static BodyLiteral MakeAtom(AtomLiteral a);
+  static BodyLiteral MakeComparison(ComparisonLiteral c);
+
+  std::string ToString() const;
+};
+
+/// Aggregation functions allowed in rule heads (paper §4.2 plus AVG).
+enum class AggregateFn { kCount, kSum, kMin, kMax, kAvg };
+
+const char* AggregateFnToString(AggregateFn fn);
+
+/// A head argument: plain term or AGGR(term).
+struct HeadTerm {
+  bool is_aggregate = false;
+  Term term;                              ///< plain term (may be arithmetic)
+  AggregateFn aggregate = AggregateFn::kCount;  ///< when is_aggregate
+  Term aggregate_arg;                     ///< variable under the aggregate
+
+  std::string ToString() const;
+};
+
+/// One Datalog rule `head(loc, terms...) <- body.`
+struct Rule {
+  std::string head_predicate;
+  std::vector<HeadTerm> head;
+  std::vector<BodyLiteral> body;
+
+  bool HasAggregate() const;
+  std::string ToString() const;
+};
+
+/// A PQL query: a collection of rules (paper §4.1).
+struct Program {
+  std::vector<Rule> rules;
+
+  /// Replaces $name parameters with constants. Errors on parameters
+  /// missing from `params`; unused entries in `params` are ignored.
+  Status BindParameters(
+      const std::vector<std::pair<std::string, Value>>& params);
+
+  /// Names of parameters still unbound anywhere in the program.
+  std::set<std::string> UnboundParameters() const;
+
+  std::string ToString() const;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_AST_H_

@@ -1,0 +1,62 @@
+#include "pql/catalog.h"
+
+namespace ariadne {
+
+bool IsStaticEdb(EdbKind kind) {
+  return kind == EdbKind::kEdge || kind == EdbKind::kEdgeValue;
+}
+
+bool IsTransientEdb(EdbKind kind) {
+  return kind == EdbKind::kVertexValueNow || kind == EdbKind::kSendNow ||
+         kind == EdbKind::kReceiveNow;
+}
+
+std::optional<int> EdbStepColumn(EdbKind kind) {
+  switch (kind) {
+    case EdbKind::kSuperstep:
+      return 1;
+    case EdbKind::kValue:
+      return 2;
+    case EdbKind::kEvolution:
+      return 2;  // the later (current) superstep
+    case EdbKind::kSendMessage:
+    case EdbKind::kReceiveMessage:
+      return 3;
+    case EdbKind::kEdgeValue:
+      return 3;  // pass-through column, weight constant over supersteps
+    default:
+      return std::nullopt;
+  }
+}
+
+Catalog::Catalog() {
+  entries_ = {
+      {"superstep", 2, EdbKind::kSuperstep},
+      {"value", 3, EdbKind::kValue},
+      {"evolution", 3, EdbKind::kEvolution},
+      {"send-message", 4, EdbKind::kSendMessage},
+      {"send-msg", 4, EdbKind::kSendMessage},
+      {"receive-message", 4, EdbKind::kReceiveMessage},
+      {"receive-msg", 4, EdbKind::kReceiveMessage},
+      {"edge", 2, EdbKind::kEdge},
+      {"edges", 2, EdbKind::kEdge},
+      {"edge-value", 4, EdbKind::kEdgeValue},
+      {"vertex-value", 2, EdbKind::kVertexValueNow},
+      {"send", 3, EdbKind::kSendNow},
+      {"receive", 3, EdbKind::kReceiveNow},
+  };
+}
+
+const EdbSchema* Catalog::Find(const std::string& name) const {
+  for (const auto& entry : entries_) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+const Catalog& Catalog::Default() {
+  static const Catalog* kInstance = new Catalog();
+  return *kInstance;
+}
+
+}  // namespace ariadne

@@ -1,0 +1,79 @@
+#ifndef ARIADNE_PQL_CATALOG_H_
+#define ARIADNE_PQL_CATALOG_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ariadne {
+
+/// Built-in provenance EDB predicates (paper Table 1 plus the transient,
+/// capture-time views of paper Query 2 and the static graph relations).
+enum class EdbKind {
+  kNone = 0,  ///< not an EDB (user IDB)
+
+  // --- Stored provenance-graph relations (Table 1) ---
+  // Note: during ONLINE evaluation, superstep(x, i) holds only the
+  // current activation (past activations are reachable via evolution and
+  // the step columns of value/send/receive-message); offline evaluation
+  // sees the full stored history. See DESIGN.md §6.
+  kSuperstep,       ///< superstep(x, i): x was active at superstep i
+  kValue,           ///< value(x, d, i): x had value d at superstep i
+  kEvolution,       ///< evolution(x, i, j): consecutive activations i -> j
+  kSendMessage,     ///< send-message(x, y, m, i)
+  kReceiveMessage,  ///< receive-message(x, y, m, i)
+
+  // --- Static input-graph relations (available everywhere) ---
+  kEdge,       ///< edge(x, y): directed input edge
+  kEdgeValue,  ///< edge-value(x, y, w, i): edge weight (constant over i)
+
+  // --- Transient capture-time views (online/capture evaluation only) ---
+  kVertexValueNow,  ///< vertex-value(x, d): value at the current superstep
+  kSendNow,         ///< send(x, y, m): message sent this superstep
+  kReceiveNow,      ///< receive(x, y, m): message received this superstep
+
+  // --- Stored relations from a custom capture query (schema-resolved) ---
+  kStored,  ///< EDB backed by a ProvenanceStore relation by name
+};
+
+/// True for the static graph relations a vertex can always enumerate
+/// locally (both adjacency directions are co-partitioned with the vertex),
+/// which the VC-compatibility analysis therefore treats as local.
+bool IsStaticEdb(EdbKind kind);
+
+/// True for the transient capture-time views (only valid online).
+bool IsTransientEdb(EdbKind kind);
+
+/// Column index (0-based) of the superstep attribute of an EDB, if any.
+/// Drives layered materialization and online history retention.
+std::optional<int> EdbStepColumn(EdbKind kind);
+
+/// Schema entry for a built-in predicate.
+struct EdbSchema {
+  std::string name;
+  int arity = 0;
+  EdbKind kind = EdbKind::kNone;
+};
+
+/// Name -> schema resolution for built-in EDB predicates, including
+/// aliases used in the paper's query texts (receive-msg, edges).
+class Catalog {
+ public:
+  Catalog();
+
+  /// Returns the schema for `name`, or nullptr for unknown predicates
+  /// (which analysis then treats as IDBs or store-backed relations).
+  const EdbSchema* Find(const std::string& name) const;
+
+  const std::vector<EdbSchema>& entries() const { return entries_; }
+
+  /// The process-wide default catalog.
+  static const Catalog& Default();
+
+ private:
+  std::vector<EdbSchema> entries_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_CATALOG_H_

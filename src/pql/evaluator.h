@@ -1,0 +1,135 @@
+#ifndef ARIADNE_PQL_EVALUATOR_H_
+#define ARIADNE_PQL_EVALUATOR_H_
+
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "pql/analysis.h"
+#include "pql/relation.h"
+
+namespace ariadne {
+
+/// Per-(rule, body-literal) delta watermark for semi-naive evaluation:
+/// rows of the literal's relation below `rows` (within `epoch`) were
+/// already joined by earlier evaluations.
+struct AtomWatermark {
+  uint64_t epoch = 0;
+  size_t rows = 0;
+};
+
+/// Persistent per-group accumulator for incrementally-evaluated aggregate
+/// rules (single positive body atom: each new input row is a distinct
+/// valuation, so group state can accumulate across evaluations instead of
+/// rescanning the input).
+struct PersistentAggCell {
+  std::unordered_set<Value, ValueHash> distinct;  // COUNT
+  double sum = 0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  int64_t n = 0;
+};
+
+struct PersistentAggState {
+  std::map<Tuple, std::vector<PersistentAggCell>> groups;
+};
+
+/// The relations of one location (per-vertex mode) or of the whole system
+/// (naive mode). Relations are created lazily; evaluation watermarks are
+/// kept here so the same RuleEvaluator can serve many Databases.
+class Database {
+ public:
+  explicit Database(const AnalyzedQuery* query) : query_(query) {}
+
+  Relation& Rel(int pred);
+  const Relation* RelIfExists(int pred) const;
+  Relation* MutableRelIfExists(int pred) {
+    return const_cast<Relation*>(
+        static_cast<const Database*>(this)->RelIfExists(pred));
+  }
+
+  size_t TotalBytes() const;
+  size_t TotalTuples() const;
+
+  /// Sum of versions of the given predicates' relations.
+  uint64_t VersionSum(const std::vector<int>& preds) const;
+
+  const AnalyzedQuery& query() const { return *query_; }
+
+  /// Per-rule input watermarks (managed by RuleEvaluator::Evaluate).
+  std::vector<uint64_t>& rule_watermarks() { return rule_watermarks_; }
+  /// Per-rule, per-body-literal delta watermarks (semi-naive evaluation).
+  std::vector<std::vector<AtomWatermark>>& atom_watermarks() {
+    return atom_watermarks_;
+  }
+  /// Per-rule persistent aggregate accumulators (incremental aggregates).
+  std::vector<std::unique_ptr<PersistentAggState>>& agg_states() {
+    return agg_states_;
+  }
+
+ private:
+  const AnalyzedQuery* query_;
+  std::vector<std::unique_ptr<Relation>> rels_;
+  std::vector<uint64_t> rule_watermarks_;
+  std::vector<std::vector<AtomWatermark>> atom_watermarks_;
+  std::vector<std::unique_ptr<PersistentAggState>> agg_states_;
+};
+
+/// Where and how a Database is being evaluated.
+struct EvalContext {
+  Database* db = nullptr;
+  /// Input graph for static edge/edge-value enumeration (all modes).
+  const Graph* graph = nullptr;
+  /// Per-vertex mode: the evaluating provenance node. Binds each rule's
+  /// head location variable before the body runs (distributed semantics,
+  /// paper §4.3) and scopes static edge enumeration to incident edges.
+  std::optional<VertexId> local_vertex;
+  /// Evaluate only rules in strata <= max_stratum (naive evaluation
+  /// synchronizes strata globally so negation sees complete lower strata).
+  int max_stratum = std::numeric_limits<int>::max();
+};
+
+/// Bottom-up, stratified, fixpoint evaluation of an AnalyzedQuery over a
+/// Database. Incremental across calls: a rule re-evaluates only when one
+/// of its input relations changed since the previous call (insertion
+/// watermarks), so per-superstep online evaluation does not redo old work.
+class RuleEvaluator {
+ public:
+  explicit RuleEvaluator(const AnalyzedQuery* query) : query_(query) {}
+
+  /// Runs all strata to fixpoint. Returns true if any new tuple was
+  /// derived (including aggregate relation changes).
+  Result<bool> Evaluate(EvalContext& ctx) const;
+
+ private:
+  const AnalyzedQuery* query_;
+};
+
+/// Merged output tables of a query run (union over locations for the
+/// per-vertex modes, the global database for naive mode).
+class QueryResult {
+ public:
+  /// Adds the IDB tuples of `db` into the merged tables.
+  void Merge(const AnalyzedQuery& query, const Database& db);
+
+  const Relation* Table(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t TotalTuples() const;
+  size_t TotalBytes() const;
+
+  /// Number of tuples in `name` (0 if absent) — bench convenience.
+  size_t TupleCount(const std::string& name) const;
+
+ private:
+  std::vector<std::pair<std::string, std::unique_ptr<Relation>>> tables_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_EVALUATOR_H_

@@ -1,0 +1,268 @@
+#include "pql/lexer.h"
+
+#include <cctype>
+
+namespace ariadne {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      SkipWhitespaceAndComments();
+      Token token;
+      token.line = line_;
+      token.column = column_;
+      if (AtEnd()) {
+        token.kind = TokenKind::kEof;
+        tokens.push_back(token);
+        return tokens;
+      }
+      ARIADNE_RETURN_NOT_OK(Next(token));
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    const char c = text_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+
+  void SkipWhitespaceAndComments() {
+    for (;;) {
+      while (!AtEnd() && std::isspace(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+      if (Peek() == '%' || (Peek() == '/' && Peek(1) == '/')) {
+        while (!AtEnd() && Peek() != '\n') Advance();
+        continue;
+      }
+      return;
+    }
+  }
+
+  Status Error(const std::string& message) const {
+    return Status::ParseError("line " + std::to_string(line_) + ":" +
+                              std::to_string(column_) + ": " + message);
+  }
+
+  Status Next(Token& token) {
+    const char c = Peek();
+    if (IsIdentStart(c)) return LexIdent(token);
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(token);
+    switch (c) {
+      case '$':
+        Advance();
+        if (!IsIdentStart(Peek())) return Error("expected name after '$'");
+        LexIdentInto(token);
+        token.kind = TokenKind::kParam;
+        return Status::OK();
+      case '"':
+        return LexString(token);
+      case '(':
+        Advance();
+        token.kind = TokenKind::kLParen;
+        return Status::OK();
+      case ')':
+        Advance();
+        token.kind = TokenKind::kRParen;
+        return Status::OK();
+      case ',':
+        Advance();
+        token.kind = TokenKind::kComma;
+        return Status::OK();
+      case '.':
+        Advance();
+        token.kind = TokenKind::kDot;
+        return Status::OK();
+      case '!':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          token.kind = TokenKind::kNe;
+        } else {
+          token.kind = TokenKind::kBang;
+        }
+        return Status::OK();
+      case '=':
+        Advance();
+        if (Peek() == '=') Advance();
+        token.kind = TokenKind::kEq;
+        return Status::OK();
+      case '<':
+        Advance();
+        if (Peek() == '-') {
+          Advance();
+          token.kind = TokenKind::kArrow;
+        } else if (Peek() == '=') {
+          Advance();
+          token.kind = TokenKind::kLe;
+        } else if (Peek() == '>') {
+          Advance();
+          token.kind = TokenKind::kNe;
+        } else {
+          token.kind = TokenKind::kLt;
+        }
+        return Status::OK();
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          token.kind = TokenKind::kGe;
+        } else {
+          token.kind = TokenKind::kGt;
+        }
+        return Status::OK();
+      case ':':
+        Advance();
+        if (Peek() == '-') {
+          Advance();
+          token.kind = TokenKind::kArrow;
+          return Status::OK();
+        }
+        return Error("expected '-' after ':'");
+      case '+':
+        Advance();
+        token.kind = TokenKind::kPlus;
+        return Status::OK();
+      case '-':
+        Advance();
+        token.kind = TokenKind::kMinus;
+        return Status::OK();
+      case '*':
+        Advance();
+        token.kind = TokenKind::kStar;
+        return Status::OK();
+      case '/':
+        Advance();
+        token.kind = TokenKind::kSlash;
+        return Status::OK();
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  void LexIdentInto(Token& token) {
+    std::string name;
+    name.push_back(Advance());
+    for (;;) {
+      if (IsIdentChar(Peek())) {
+        name.push_back(Advance());
+      } else if (Peek() == '-' && IsIdentStart(Peek(1))) {
+        // Hyphenated identifier continuation (receive-message).
+        name.push_back(Advance());
+        name.push_back(Advance());
+      } else {
+        break;
+      }
+    }
+    token.text = std::move(name);
+  }
+
+  Status LexIdent(Token& token) {
+    LexIdentInto(token);
+    if (token.text == "not") {
+      token.kind = TokenKind::kBang;
+    } else {
+      token.kind = TokenKind::kIdent;
+    }
+    return Status::OK();
+  }
+
+  Status LexNumber(Token& token) {
+    std::string digits;
+    while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+      digits.push_back(Advance());
+    }
+    bool is_double = false;
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_double = true;
+      digits.push_back(Advance());
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Advance());
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      is_double = true;
+      digits.push_back(Advance());
+      if (Peek() == '+' || Peek() == '-') digits.push_back(Advance());
+      if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("malformed exponent");
+      }
+      while (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        digits.push_back(Advance());
+      }
+    }
+    if (is_double) {
+      token.kind = TokenKind::kDouble;
+      token.literal = Value(std::stod(digits));
+    } else {
+      token.kind = TokenKind::kInt;
+      token.literal = Value(static_cast<int64_t>(std::stoll(digits)));
+    }
+    return Status::OK();
+  }
+
+  Status LexString(Token& token) {
+    Advance();  // opening quote
+    std::string out;
+    while (!AtEnd() && Peek() != '"') {
+      char c = Advance();
+      if (c == '\\' && !AtEnd()) {
+        const char esc = Advance();
+        switch (esc) {
+          case 'n':
+            c = '\n';
+            break;
+          case 't':
+            c = '\t';
+            break;
+          default:
+            c = esc;
+        }
+      }
+      out.push_back(c);
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // closing quote
+    token.kind = TokenKind::kString;
+    token.literal = Value(std::move(out));
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(const std::string& text) {
+  return Lexer(text).Run();
+}
+
+}  // namespace ariadne

@@ -1,0 +1,58 @@
+#ifndef ARIADNE_PQL_LEXER_H_
+#define ARIADNE_PQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace ariadne {
+
+/// Token kinds of the PQL surface syntax.
+enum class TokenKind {
+  kIdent,     ///< predicate / variable name; hyphens allowed inside
+  kParam,     ///< $name
+  kInt,       ///< integer literal
+  kDouble,    ///< floating literal
+  kString,    ///< "..." literal
+  kLParen,
+  kRParen,
+  kComma,
+  kDot,
+  kArrow,     ///< <- or :-
+  kBang,      ///< ! or the keyword `not`
+  kEq,        ///< = or ==
+  kNe,        ///< != or <>
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kEof,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   ///< identifier / parameter spelling
+  Value literal;      ///< kInt / kDouble / kString payload
+  int line = 1;
+  int column = 1;
+};
+
+/// Tokenizes PQL text.
+///
+/// Identifiers may contain hyphens (`receive-message`, `udf-diff`): a `-`
+/// continues an identifier when it directly follows an identifier
+/// character and is directly followed by a letter. Consequently,
+/// subtraction between variables must be spaced (`i - 1`, `i - j`); `i-j`
+/// lexes as the single identifier "i-j". Comments run from `%` or `//` to
+/// end of line.
+Result<std::vector<Token>> Tokenize(const std::string& text);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_LEXER_H_

@@ -1,0 +1,263 @@
+#include "pql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "pql/lexer.h"
+
+namespace ariadne {
+
+namespace {
+
+/// Case-insensitive aggregate keyword lookup.
+bool LookupAggregate(const std::string& name, AggregateFn* out) {
+  std::string upper = name;
+  std::transform(upper.begin(), upper.end(), upper.begin(), [](char c) {
+    return static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  });
+  if (upper == "COUNT") {
+    *out = AggregateFn::kCount;
+  } else if (upper == "SUM") {
+    *out = AggregateFn::kSum;
+  } else if (upper == "MIN") {
+    *out = AggregateFn::kMin;
+  } else if (upper == "MAX") {
+    *out = AggregateFn::kMax;
+  } else if (upper == "AVG") {
+    *out = AggregateFn::kAvg;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> ParseProgram() {
+    Program program;
+    while (Peek().kind != TokenKind::kEof) {
+      ARIADNE_ASSIGN_OR_RETURN(Rule rule, ParseRule());
+      program.rules.push_back(std::move(rule));
+    }
+    if (program.rules.empty()) {
+      return Status::ParseError("empty PQL program");
+    }
+    return program;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    ARIADNE_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent, "rule head"));
+    rule.head_predicate = name.text;
+    ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kLParen, "'(' after head"));
+    for (;;) {
+      ARIADNE_ASSIGN_OR_RETURN(HeadTerm term, ParseHeadTerm());
+      rule.head.push_back(std::move(term));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kRParen, "')' after head terms"));
+    ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kArrow, "'<-' after rule head"));
+    for (;;) {
+      ARIADNE_ASSIGN_OR_RETURN(BodyLiteral lit, ParseLiteral());
+      rule.body.push_back(std::move(lit));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kDot, "'.' at end of rule"));
+    return rule;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status Error(const std::string& message) const {
+    const Token& t = Peek();
+    return Status::ParseError("line " + std::to_string(t.line) + ":" +
+                              std::to_string(t.column) + ": " + message);
+  }
+
+  Result<Token> Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) return Error("expected " + what);
+    return Advance();
+  }
+  Status ExpectOnly(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) return Error("expected " + what);
+    Advance();
+    return Status::OK();
+  }
+
+  Result<HeadTerm> ParseHeadTerm() {
+    HeadTerm head;
+    AggregateFn fn;
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek(1).kind == TokenKind::kLParen &&
+        LookupAggregate(Peek().text, &fn)) {
+      Advance();  // AGGR
+      Advance();  // (
+      ARIADNE_ASSIGN_OR_RETURN(Token var, Expect(TokenKind::kIdent,
+                                                 "variable under aggregate"));
+      ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kRParen,
+                                       "')' after aggregate"));
+      head.is_aggregate = true;
+      head.aggregate = fn;
+      head.aggregate_arg = Term::Var(var.text);
+      return head;
+    }
+    ARIADNE_ASSIGN_OR_RETURN(head.term, ParseTerm());
+    return head;
+  }
+
+  Result<BodyLiteral> ParseLiteral() {
+    if (Peek().kind == TokenKind::kBang) {
+      Advance();
+      ARIADNE_ASSIGN_OR_RETURN(AtomLiteral atom, ParseAtom());
+      atom.negated = true;
+      return BodyLiteral::MakeAtom(std::move(atom));
+    }
+    // Atom iff ident followed by '(' and not a comparison/arith context:
+    // `f(x) < 3` would need function terms, which PQL does not have in
+    // comparison position — function calls are body literals (UDFs).
+    if (Peek().kind == TokenKind::kIdent &&
+        Peek(1).kind == TokenKind::kLParen) {
+      ARIADNE_ASSIGN_OR_RETURN(AtomLiteral atom, ParseAtom());
+      return BodyLiteral::MakeAtom(std::move(atom));
+    }
+    ComparisonLiteral cmp;
+    ARIADNE_ASSIGN_OR_RETURN(cmp.lhs, ParseTerm());
+    switch (Peek().kind) {
+      case TokenKind::kEq:
+        cmp.op = ComparisonOp::kEq;
+        break;
+      case TokenKind::kNe:
+        cmp.op = ComparisonOp::kNe;
+        break;
+      case TokenKind::kLt:
+        cmp.op = ComparisonOp::kLt;
+        break;
+      case TokenKind::kLe:
+        cmp.op = ComparisonOp::kLe;
+        break;
+      case TokenKind::kGt:
+        cmp.op = ComparisonOp::kGt;
+        break;
+      case TokenKind::kGe:
+        cmp.op = ComparisonOp::kGe;
+        break;
+      default:
+        return Error("expected comparison operator");
+    }
+    Advance();
+    ARIADNE_ASSIGN_OR_RETURN(cmp.rhs, ParseTerm());
+    return BodyLiteral::MakeComparison(std::move(cmp));
+  }
+
+  Result<AtomLiteral> ParseAtom() {
+    AtomLiteral atom;
+    ARIADNE_ASSIGN_OR_RETURN(Token name,
+                             Expect(TokenKind::kIdent, "predicate name"));
+    atom.predicate = name.text;
+    ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kLParen,
+                                     "'(' after predicate name"));
+    for (;;) {
+      ARIADNE_ASSIGN_OR_RETURN(Term term, ParseTerm());
+      atom.args.push_back(std::move(term));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kRParen,
+                                     "')' after atom arguments"));
+    return atom;
+  }
+
+  // term := factor (('+'|'-') factor)*
+  Result<Term> ParseTerm() {
+    ARIADNE_ASSIGN_OR_RETURN(Term lhs, ParseFactor());
+    while (Peek().kind == TokenKind::kPlus ||
+           Peek().kind == TokenKind::kMinus) {
+      const char op = Advance().kind == TokenKind::kPlus ? '+' : '-';
+      ARIADNE_ASSIGN_OR_RETURN(Term rhs, ParseFactor());
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  // factor := primary (('*'|'/') primary)*
+  Result<Term> ParseFactor() {
+    ARIADNE_ASSIGN_OR_RETURN(Term lhs, ParsePrimary());
+    while (Peek().kind == TokenKind::kStar ||
+           Peek().kind == TokenKind::kSlash) {
+      const char op = Advance().kind == TokenKind::kStar ? '*' : '/';
+      ARIADNE_ASSIGN_OR_RETURN(Term rhs, ParsePrimary());
+      lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<Term> ParsePrimary() {
+    switch (Peek().kind) {
+      case TokenKind::kIdent:
+        return Term::Var(Advance().text);
+      case TokenKind::kParam:
+        return Term::Param(Advance().text);
+      case TokenKind::kInt:
+      case TokenKind::kDouble:
+      case TokenKind::kString:
+        return Term::Const(Advance().literal);
+      case TokenKind::kMinus: {
+        // Unary minus on a numeric literal.
+        Advance();
+        if (Peek().kind == TokenKind::kInt) {
+          return Term::Const(Value(-Advance().literal.AsInt()));
+        }
+        if (Peek().kind == TokenKind::kDouble) {
+          return Term::Const(Value(-Advance().literal.AsDouble()));
+        }
+        ARIADNE_ASSIGN_OR_RETURN(Term inner, ParsePrimary());
+        return Term::Arith('-', Term::Const(Value(int64_t{0})),
+                           std::move(inner));
+      }
+      case TokenKind::kLParen: {
+        Advance();
+        ARIADNE_ASSIGN_OR_RETURN(Term inner, ParseTerm());
+        ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kRParen,
+                                         "')' closing parenthesized term"));
+        return inner;
+      }
+      default:
+        return Error("expected term");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(const std::string& text) {
+  ARIADNE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).ParseProgram();
+}
+
+Result<Rule> ParseRule(const std::string& text) {
+  ARIADNE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
+  return Parser(std::move(tokens)).ParseRule();
+}
+
+}  // namespace ariadne

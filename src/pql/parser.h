@@ -1,0 +1,34 @@
+#ifndef ARIADNE_PQL_PARSER_H_
+#define ARIADNE_PQL_PARSER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "pql/ast.h"
+
+namespace ariadne {
+
+/// Parses PQL text into a Program.
+///
+/// Grammar (paper §4.2 surface syntax):
+///   program    := rule+
+///   rule       := head ("<-" | ":-") literal ("," literal)* "."
+///   head       := ident "(" head_term ("," head_term)* ")"
+///   head_term  := AGGR "(" var ")" | term
+///   literal    := ["!"|"not"] ident "(" term ("," term)* ")"
+///               | term cmp_op term
+///   term       := additive over primary; primary := var | number |
+///                 string | $param | "(" term ")"
+///
+/// Lower-case identifiers are variables inside argument positions;
+/// numbers/strings are constants; `$name` is a parameter bound via
+/// Program::BindParameters. AGGR is one of COUNT/SUM/MIN/MAX/AVG
+/// (case-insensitive).
+Result<Program> ParseProgram(const std::string& text);
+
+/// Convenience: parse a single rule.
+Result<Rule> ParseRule(const std::string& text);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_PARSER_H_

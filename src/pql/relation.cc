@@ -1,0 +1,120 @@
+#include "pql/relation.h"
+
+#include <algorithm>
+
+namespace ariadne {
+
+size_t TupleHash::operator()(const Tuple& t) const {
+  size_t seed = t.size();
+  for (const Value& v : t) {
+    seed ^= v.Hash() + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  }
+  return seed;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+size_t TupleByteSize(const Tuple& t) {
+  size_t bytes = 8;  // row overhead
+  for (const Value& v : t) bytes += v.ByteSize();
+  return bytes;
+}
+
+bool Relation::Insert(Tuple t) {
+  // Duplicate check without storing: hash the candidate via the probe
+  // sentinel, then commit only when new.
+  probe_ = &t;
+  if (dedup_.find(kProbeIdx) != dedup_.end()) {
+    probe_ = nullptr;
+    return false;
+  }
+  probe_ = nullptr;
+  tuples_.push_back(std::move(t));
+  const uint32_t idx = static_cast<uint32_t>(tuples_.size() - 1);
+  dedup_.insert(idx);
+  byte_size_ += TupleByteSize(tuples_.back());
+  ++version_;
+  // Extend any live indexes so Probe results stay complete.
+  for (auto& [col, index] : indexes_) {
+    if (index.indexed_up_to == idx) {
+      index.buckets[tuples_.back()[static_cast<size_t>(col)]].push_back(idx);
+      index.indexed_up_to = idx + 1;
+    }
+  }
+  return true;
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  auto* self = const_cast<Relation*>(this);
+  self->probe_ = &t;
+  const bool found = self->dedup_.find(kProbeIdx) != self->dedup_.end();
+  self->probe_ = nullptr;
+  return found;
+}
+
+const std::vector<uint32_t>& Relation::Probe(int col, const Value& v) {
+  static const std::vector<uint32_t> kEmpty;
+  ColumnIndex& index = indexes_[col];
+  while (index.indexed_up_to < tuples_.size()) {
+    const uint32_t i = static_cast<uint32_t>(index.indexed_up_to);
+    index.buckets[tuples_[i][static_cast<size_t>(col)]].push_back(i);
+    ++index.indexed_up_to;
+  }
+  auto it = index.buckets.find(v);
+  return it == index.buckets.end() ? kEmpty : it->second;
+}
+
+bool Relation::ReplaceAll(std::vector<Tuple> tuples) {
+  // Deduplicate the input so the no-change check compares sets.
+  std::unordered_set<Tuple, TupleHash> incoming(tuples.begin(), tuples.end());
+  if (incoming.size() == tuples_.size()) {
+    bool same = true;
+    for (const Tuple& t : incoming) {
+      if (!Contains(t)) {
+        same = false;
+        break;
+      }
+    }
+    if (same) return false;
+  }
+  Clear();
+  for (const Tuple& t : incoming) Insert(t);
+  return true;
+}
+
+void Relation::RemoveIf(const std::function<bool(const Tuple&)>& pred) {
+  std::vector<Tuple> kept;
+  kept.reserve(tuples_.size());
+  for (Tuple& t : tuples_) {
+    if (!pred(t)) kept.push_back(std::move(t));
+  }
+  Clear();
+  for (Tuple& t : kept) Insert(std::move(t));
+}
+
+void Relation::Clear() {
+  dedup_.clear();
+  tuples_.clear();
+  indexes_.clear();
+  byte_size_ = 0;
+  ++version_;
+  ++epoch_;
+}
+
+std::vector<std::string> Relation::ToSortedStrings() const {
+  std::vector<std::string> out;
+  out.reserve(tuples_.size());
+  for (const Tuple& t : tuples_) out.push_back(TupleToString(t));
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace ariadne

@@ -1,0 +1,125 @@
+#ifndef ARIADNE_PQL_RELATION_H_
+#define ARIADNE_PQL_RELATION_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/value.h"
+
+namespace ariadne {
+
+/// One row of a PQL relation. Column 0 is always the location specifier
+/// (a vertex id as Value::kInt) — see DESIGN.md: keeping the location
+/// explicit lets the same evaluation code run per-vertex (online/layered)
+/// and globally (naive).
+using Tuple = std::vector<Value>;
+
+struct TupleHash {
+  size_t operator()(const Tuple& t) const;
+};
+
+std::string TupleToString(const Tuple& t);
+
+/// Set-semantics relation with insertion-order row access (for delta
+/// scans via external watermarks), duplicate elimination, and lazily
+/// built, incrementally maintained single-column hash indexes for joins.
+class Relation {
+ public:
+  explicit Relation(int arity = 0) : arity_(arity) {}
+
+  // Non-copyable/non-movable: the dedup set's hasher captures a pointer
+  // to this object's tuple storage.
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  int arity() const { return arity_; }
+  size_t size() const { return tuples_.size(); }
+  bool empty() const { return tuples_.empty(); }
+  const Tuple& row(size_t i) const { return tuples_[i]; }
+  const std::vector<Tuple>& rows() const { return tuples_; }
+
+  /// Inserts a tuple; returns false (and drops it) when already present.
+  bool Insert(Tuple t);
+
+  bool Contains(const Tuple& t) const;
+
+  /// Row indices whose column `col` equals `v`. Builds an index on `col`
+  /// on first use and extends it incrementally afterwards. The returned
+  /// reference is invalidated by the next mutating call.
+  const std::vector<uint32_t>& Probe(int col, const Value& v);
+
+  /// Approximate memory footprint of the stored tuples (indexes excluded)
+  /// — the unit of the provenance-size accounting (Tables 3-4).
+  size_t byte_size() const { return byte_size_; }
+
+  /// Monotone mutation counter; evaluation watermarks compare sums of
+  /// versions to skip rules whose inputs did not change.
+  uint64_t version() const { return version_; }
+
+  /// Bumped whenever existing rows are rearranged or removed (Clear,
+  /// RemoveIf, ReplaceAll). Row-index-based delta watermarks are only
+  /// valid within one epoch; on a mismatch the consumer rescans.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Replaces the full contents (aggregate re-evaluation). Returns true
+  /// if the contents changed.
+  bool ReplaceAll(std::vector<Tuple> tuples);
+
+  /// Removes rows matching `pred` (online history retention); rebuilds
+  /// dedup and index state.
+  void RemoveIf(const std::function<bool(const Tuple&)>& pred);
+
+  void Clear();
+
+  /// Deterministic dump for tests/goldens.
+  std::vector<std::string> ToSortedStrings() const;
+
+ private:
+  /// Sentinel index addressing `probe_` instead of a stored row, so
+  /// membership tests hash a candidate tuple without copying it in.
+  static constexpr uint32_t kProbeIdx = 0xffffffffu;
+
+  const Tuple& RowOrProbe(uint32_t i) const {
+    return i == kProbeIdx ? *probe_ : tuples_[i];
+  }
+
+  struct IdxHash {
+    const Relation* rel;
+    size_t operator()(uint32_t i) const {
+      return TupleHash()(rel->RowOrProbe(i));
+    }
+  };
+  struct IdxEq {
+    const Relation* rel;
+    bool operator()(uint32_t a, uint32_t b) const {
+      return rel->RowOrProbe(a) == rel->RowOrProbe(b);
+    }
+  };
+  struct ColumnIndex {
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> buckets;
+    size_t indexed_up_to = 0;
+  };
+
+  void RebuildDedup();
+
+  int arity_;
+  std::vector<Tuple> tuples_;
+  const Tuple* probe_ = nullptr;
+  std::unordered_set<uint32_t, IdxHash, IdxEq> dedup_{0, IdxHash{this},
+                                                      IdxEq{this}};
+  std::unordered_map<int, ColumnIndex> indexes_;
+  size_t byte_size_ = 0;
+  uint64_t version_ = 0;
+  uint64_t epoch_ = 0;
+};
+
+/// Memory size of one tuple (sum of value footprints + row overhead).
+size_t TupleByteSize(const Tuple& t);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_RELATION_H_

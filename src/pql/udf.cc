@@ -1,0 +1,123 @@
+#include "pql/udf.h"
+
+#include <cmath>
+
+#include "analytics/linalg.h"
+
+namespace ariadne {
+
+namespace {
+
+/// |a-b| for numerics, euclidean distance for double vectors.
+Result<double> GenericDiff(const Value& a, const Value& b) {
+  if (a.is_double_vector() && b.is_double_vector()) {
+    if (a.AsDoubleVector().size() != b.AsDoubleVector().size()) {
+      return Status::InvalidArgument("vector arity mismatch in udf-diff");
+    }
+    return EuclideanDistance(a.AsDoubleVector(), b.AsDoubleVector());
+  }
+  ARIADNE_ASSIGN_OR_RETURN(double x, a.ToDouble());
+  ARIADNE_ASSIGN_OR_RETURN(double y, b.ToDouble());
+  return std::fabs(x - y);
+}
+
+}  // namespace
+
+UdfRegistry::UdfRegistry() {
+  RegisterPredicate("udf-diff", 3,
+                    [](std::span<const Value> args) -> Result<bool> {
+                      ARIADNE_ASSIGN_OR_RETURN(double d,
+                                               GenericDiff(args[0], args[1]));
+                      ARIADNE_ASSIGN_OR_RETURN(double eps, args[2].ToDouble());
+                      return d <= eps;
+                    });
+  RegisterPredicate("udf-large-diff", 3,
+                    [](std::span<const Value> args) -> Result<bool> {
+                      ARIADNE_ASSIGN_OR_RETURN(double d,
+                                               GenericDiff(args[0], args[1]));
+                      ARIADNE_ASSIGN_OR_RETURN(double eps, args[2].ToDouble());
+                      return d > eps;
+                    });
+  RegisterPredicate("outside", 3,
+                    [](std::span<const Value> args) -> Result<bool> {
+                      ARIADNE_ASSIGN_OR_RETURN(double v, args[0].ToDouble());
+                      ARIADNE_ASSIGN_OR_RETURN(double lo, args[1].ToDouble());
+                      ARIADNE_ASSIGN_OR_RETURN(double hi, args[2].ToDouble());
+                      return v < lo || v > hi;
+                    });
+  RegisterFunction("abs", 1,
+                   [](std::span<const Value> args) -> Result<Value> {
+                     ARIADNE_ASSIGN_OR_RETURN(double v, args[0].ToDouble());
+                     return Value(std::fabs(v));
+                   });
+  RegisterFunction(
+      "euclidean", 2, [](std::span<const Value> args) -> Result<Value> {
+        if (!args[0].is_double_vector() || !args[1].is_double_vector()) {
+          return Status::InvalidArgument("euclidean expects double vectors");
+        }
+        if (args[0].AsDoubleVector().size() !=
+            args[1].AsDoubleVector().size()) {
+          return Status::InvalidArgument("euclidean arity mismatch");
+        }
+        return Value(EuclideanDistance(args[0].AsDoubleVector(),
+                                       args[1].AsDoubleVector()));
+      });
+  RegisterFunction(
+      "als-predict", 2, [](std::span<const Value> args) -> Result<Value> {
+        if (!args[0].is_double_vector() || !args[1].is_double_vector()) {
+          return Status::InvalidArgument("als-predict expects double vectors");
+        }
+        const auto& features = args[0].AsDoubleVector();
+        const auto& message = args[1].AsDoubleVector();
+        if (message.size() != features.size() + 1) {
+          return Status::InvalidArgument(
+              "als-predict: message must be features + rating");
+        }
+        double dot = 0;
+        for (size_t i = 0; i < features.size(); ++i) {
+          dot += features[i] * message[i];
+        }
+        return Value(dot);
+      });
+  RegisterFunction("als-rating", 1,
+                   [](std::span<const Value> args) -> Result<Value> {
+                     if (!args[0].is_double_vector() ||
+                         args[0].AsDoubleVector().empty()) {
+                       return Status::InvalidArgument(
+                           "als-rating expects a non-empty double vector");
+                     }
+                     return Value(args[0].AsDoubleVector().back());
+                   });
+}
+
+void UdfRegistry::RegisterPredicate(
+    const std::string& name, int arity,
+    std::function<Result<bool>(std::span<const Value>)> fn) {
+  Udf udf;
+  udf.kind = UdfKind::kPredicate;
+  udf.arity = arity;
+  udf.predicate = std::move(fn);
+  udfs_[name] = std::move(udf);
+}
+
+void UdfRegistry::RegisterFunction(
+    const std::string& name, int input_arity,
+    std::function<Result<Value>(std::span<const Value>)> fn) {
+  Udf udf;
+  udf.kind = UdfKind::kFunction;
+  udf.arity = input_arity + 1;
+  udf.function = std::move(fn);
+  udfs_[name] = std::move(udf);
+}
+
+const Udf* UdfRegistry::Find(const std::string& name) const {
+  auto it = udfs_.find(name);
+  return it == udfs_.end() ? nullptr : &it->second;
+}
+
+const UdfRegistry& UdfRegistry::Default() {
+  static const UdfRegistry* kInstance = new UdfRegistry();
+  return *kInstance;
+}
+
+}  // namespace ariadne

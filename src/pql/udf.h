@@ -1,0 +1,68 @@
+#ifndef ARIADNE_PQL_UDF_H_
+#define ARIADNE_PQL_UDF_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "common/value.h"
+
+namespace ariadne {
+
+/// PQL user-defined functions come in two flavours (paper §4.2 defines
+/// boolean function calls; binding functions are our documented extension
+/// used to expose analytic-specific derived facts like ALS prediction
+/// error without touching the analytic):
+///   * predicate UDFs: f(v...) holds or not;
+///   * function UDFs: f(in..., out) binds `out` from the inputs (or
+///     filters when `out` is already bound).
+enum class UdfKind { kPredicate, kFunction };
+
+struct Udf {
+  UdfKind kind = UdfKind::kPredicate;
+  /// Total argument count as written in queries (function UDFs include
+  /// the output argument).
+  int arity = 0;
+  /// kPredicate: decides truth from all `arity` arguments.
+  std::function<Result<bool>(std::span<const Value>)> predicate;
+  /// kFunction: computes the output from the first `arity - 1` arguments.
+  std::function<Result<Value>(std::span<const Value>)> function;
+};
+
+/// Name -> UDF resolution. `Default()` ships the built-ins the paper's
+/// queries need:
+///   udf-diff(d1, d2, eps)      predicate: diff(d1,d2) <= eps, where diff
+///                              is |d1-d2| for numerics and the euclidean
+///                              distance for double vectors
+///   udf-large-diff(d1,d2,eps)  predicate: diff(d1,d2) >  eps
+///   outside(v, lo, hi)         predicate: v < lo or v > hi
+///   abs(x, out)                function
+///   als-predict(f, m, out)     function: dot(f, m[0..k-1]) where m is an
+///                              ALS message (features + rating)
+///   als-rating(m, out)         function: m's trailing rating entry
+///   euclidean(a, b, out)       function: euclidean distance
+class UdfRegistry {
+ public:
+  UdfRegistry();
+
+  void RegisterPredicate(
+      const std::string& name, int arity,
+      std::function<Result<bool>(std::span<const Value>)> fn);
+  void RegisterFunction(
+      const std::string& name, int input_arity,
+      std::function<Result<Value>(std::span<const Value>)> fn);
+
+  const Udf* Find(const std::string& name) const;
+
+  /// Process-wide registry preloaded with the built-ins above.
+  static const UdfRegistry& Default();
+
+ private:
+  std::unordered_map<std::string, Udf> udfs_;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_UDF_H_

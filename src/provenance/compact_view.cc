@@ -1,0 +1,176 @@
+#include "provenance/compact_view.h"
+
+#include <algorithm>
+
+namespace ariadne {
+
+Result<CompactProvenance> CompactProvenance::Build(ProvenanceStore* store) {
+  CompactProvenance view;
+  view.schema_ = store->schema();
+  auto rel_id = [&](const char* a, const char* b = nullptr) {
+    const int primary = store->RelId(a);
+    if (primary >= 0 || b == nullptr) return primary;
+    return store->RelId(b);
+  };
+  view.value_rel_ = rel_id("value", "prov-value");
+  view.superstep_rel_ = rel_id("superstep");
+  view.evolution_rel_ = rel_id("evolution");
+  view.send_rel_ = rel_id("send-message", "prov-send");
+  view.receive_rel_ = rel_id("receive-message");
+
+  auto absorb = [&](const Layer& layer) {
+    for (const auto& slice : layer.slices) {
+      auto& table = view.vertices_[slice.vertex].by_relation[slice.rel];
+      for (const Tuple& t : slice.tuples) {
+        view.total_bytes_ += TupleByteSize(t);
+        table.push_back(t);
+      }
+    }
+  };
+  absorb(store->static_data());
+  for (int step = 0; step < store->num_layers(); ++step) {
+    ARIADNE_ASSIGN_OR_RETURN(const Layer* layer, store->GetLayer(step));
+    absorb(*layer);
+  }
+  return view;
+}
+
+std::vector<VertexId> CompactProvenance::Vertices() const {
+  std::vector<VertexId> out;
+  out.reserve(vertices_.size());
+  for (const auto& [v, tables] : vertices_) out.push_back(v);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+const std::vector<Tuple>& CompactProvenance::RelTable(VertexId vertex,
+                                                      int rel) const {
+  static const std::vector<Tuple> kEmpty;
+  if (rel < 0) return kEmpty;
+  auto it = vertices_.find(vertex);
+  if (it == vertices_.end()) return kEmpty;
+  auto jt = it->second.by_relation.find(rel);
+  return jt == it->second.by_relation.end() ? kEmpty : jt->second;
+}
+
+const std::vector<Tuple>& CompactProvenance::Table(
+    VertexId vertex, const std::string& relation) const {
+  static const std::vector<Tuple> kEmpty;
+  for (size_t r = 0; r < schema_.size(); ++r) {
+    if (schema_[r].name == relation) {
+      return RelTable(vertex, static_cast<int>(r));
+    }
+  }
+  return kEmpty;
+}
+
+std::vector<std::pair<Superstep, Value>> CompactProvenance::ValueHistory(
+    VertexId vertex) const {
+  std::vector<std::pair<Superstep, Value>> out;
+  // Stored as value(x, d, i) or prov-value(x, i, d): detect by column
+  // kind (the superstep column is the integer one).
+  for (const Tuple& t : RelTable(vertex, value_rel_)) {
+    if (t.size() != 3) continue;
+    if (value_rel_ >= 0 &&
+        schema_[static_cast<size_t>(value_rel_)].name == "prov-value") {
+      if (t[1].is_int()) {
+        out.emplace_back(static_cast<Superstep>(t[1].AsInt()), t[2]);
+      }
+    } else if (t[2].is_int()) {
+      out.emplace_back(static_cast<Superstep>(t[2].AsInt()), t[1]);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<Superstep> CompactProvenance::ActiveSupersteps(
+    VertexId vertex) const {
+  std::vector<Superstep> out;
+  for (const Tuple& t : RelTable(vertex, superstep_rel_)) {
+    if (t.size() == 2 && t[1].is_int()) {
+      out.push_back(static_cast<Superstep>(t[1].AsInt()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<Superstep, Superstep>> CompactProvenance::Evolution(
+    VertexId vertex) const {
+  std::vector<std::pair<Superstep, Superstep>> out;
+  for (const Tuple& t : RelTable(vertex, evolution_rel_)) {
+    if (t.size() == 3 && t[1].is_int() && t[2].is_int()) {
+      out.emplace_back(static_cast<Superstep>(t[1].AsInt()),
+                       static_cast<Superstep>(t[2].AsInt()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<VertexId, Superstep>> CompactProvenance::SentTo(
+    VertexId vertex) const {
+  std::vector<std::pair<VertexId, Superstep>> out;
+  for (const Tuple& t : RelTable(vertex, send_rel_)) {
+    // send-message(x, y, m, i) or prov-send(x, i).
+    if (t.size() == 4 && t[1].is_int() && t[3].is_int()) {
+      out.emplace_back(t[1].AsInt(), static_cast<Superstep>(t[3].AsInt()));
+    } else if (t.size() == 2 && t[1].is_int()) {
+      out.emplace_back(-1, static_cast<Superstep>(t[1].AsInt()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<VertexId, Superstep>> CompactProvenance::ReceivedFrom(
+    VertexId vertex) const {
+  std::vector<std::pair<VertexId, Superstep>> out;
+  for (const Tuple& t : RelTable(vertex, receive_rel_)) {
+    if (t.size() == 4 && t[1].is_int() && t[3].is_int()) {
+      out.emplace_back(t[1].AsInt(), static_cast<Superstep>(t[3].AsInt()));
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::string CompactProvenance::Describe(VertexId vertex) const {
+  std::string out = "vertex " + std::to_string(vertex) + "\n";
+  const auto values = ValueHistory(vertex);
+  if (!values.empty()) {
+    out += "  values:";
+    for (const auto& [step, value] : values) {
+      out += " @" + std::to_string(step) + "=" + value.ToString();
+    }
+    out += "\n";
+  }
+  const auto active = ActiveSupersteps(vertex);
+  if (!active.empty()) {
+    out += "  active:";
+    for (Superstep s : active) out += " " + std::to_string(s);
+    out += "\n";
+  }
+  const auto sent = SentTo(vertex);
+  if (!sent.empty()) {
+    out += "  sent:";
+    for (const auto& [peer, step] : sent) {
+      out += " ->" + (peer >= 0 ? std::to_string(peer) : std::string("?")) +
+             "@" + std::to_string(step);
+    }
+    out += "\n";
+  }
+  const auto received = ReceivedFrom(vertex);
+  if (!received.empty()) {
+    out += "  received:";
+    for (const auto& [peer, step] : received) {
+      out += " <-" + std::to_string(peer) + "@" + std::to_string(step);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ariadne

@@ -1,0 +1,236 @@
+#include "provenance/store.h"
+
+#include <algorithm>
+
+#include "common/serialize.h"
+
+namespace ariadne {
+
+void Layer::Add(int rel, VertexId vertex, std::vector<Tuple> tuples) {
+  if (tuples.empty()) return;
+  LayerSlice slice;
+  slice.rel = rel;
+  slice.vertex = vertex;
+  slice.tuples = std::move(tuples);
+  for (const Tuple& t : slice.tuples) byte_size += TupleByteSize(t);
+  slices.push_back(std::move(slice));
+}
+
+int ProvenanceStore::AddRelation(const std::string& name, int arity) {
+  const int existing = RelId(name);
+  if (existing >= 0) return existing;
+  schema_.push_back(StoredRelation{name, arity});
+  return static_cast<int>(schema_.size() - 1);
+}
+
+int ProvenanceStore::RelId(const std::string& name) const {
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (schema_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+StoreSchema ProvenanceStore::ToStoreSchema() const {
+  StoreSchema out;
+  for (const auto& rel : schema_) {
+    out.relations.push_back(StoreSchema::Entry{rel.name, rel.arity});
+  }
+  return out;
+}
+
+Status ProvenanceStore::EnableSpill(std::string dir, size_t budget_bytes) {
+  if (dir.empty()) return Status::InvalidArgument("empty spill directory");
+  spill_dir_ = std::move(dir);
+  spill_budget_ = budget_bytes;
+  spill_enabled_ = true;
+  return ApplySpillPolicy();
+}
+
+Status ProvenanceStore::AppendLayer(Layer layer) {
+  if (layer.step != static_cast<Superstep>(layers_.size())) {
+    return Status::InvalidArgument(
+        "layers must be appended in superstep order (got " +
+        std::to_string(layer.step) + ", expected " +
+        std::to_string(layers_.size()) + ")");
+  }
+  LayerEntry entry;
+  entry.byte_size = layer.byte_size;
+  entry.step = layer.step;
+  entry.resident = std::move(layer);
+  layers_.push_back(std::move(entry));
+  return ApplySpillPolicy();
+}
+
+Result<const Layer*> ProvenanceStore::GetLayer(int step) {
+  if (step < 0 || step >= num_layers()) {
+    return Status::OutOfRange("layer " + std::to_string(step) +
+                              " out of range");
+  }
+  LayerEntry& entry = layers_[static_cast<size_t>(step)];
+  if (!entry.resident.has_value()) {
+    ARIADNE_ASSIGN_OR_RETURN(Layer layer, LoadLayer(entry));
+    entry.resident = std::move(layer);
+    // Layered evaluation touches one layer at a time: evict other
+    // reloaded layers to honor the budget (never the one just loaded).
+    ARIADNE_RETURN_NOT_OK(ApplySpillPolicy(step));
+  }
+  return &*entry.resident;
+}
+
+size_t ProvenanceStore::TotalBytes() const {
+  size_t bytes = static_layer_.byte_size;
+  for (const auto& entry : layers_) bytes += entry.byte_size;
+  return bytes;
+}
+
+size_t ProvenanceStore::InMemoryBytes() const {
+  size_t bytes = static_layer_.byte_size;
+  for (const auto& entry : layers_) {
+    if (entry.resident.has_value()) bytes += entry.byte_size;
+  }
+  return bytes;
+}
+
+int64_t ProvenanceStore::TotalTuples() const {
+  int64_t n = 0;
+  for (const auto& slice : static_layer_.slices) {
+    n += static_cast<int64_t>(slice.tuples.size());
+  }
+  for (const auto& entry : layers_) {
+    if (!entry.resident.has_value()) continue;
+    for (const auto& slice : entry.resident->slices) {
+      n += static_cast<int64_t>(slice.tuples.size());
+    }
+  }
+  return n;
+}
+
+int ProvenanceStore::SpilledLayerCount() const {
+  int n = 0;
+  for (const auto& entry : layers_) {
+    if (!entry.resident.has_value()) ++n;
+  }
+  return n;
+}
+
+Status ProvenanceStore::SpillLayer(LayerEntry& entry) {
+  if (!entry.resident.has_value()) return Status::OK();
+  if (entry.spill_path.empty()) {
+    BinaryWriter writer;
+    SerializeLayer(*entry.resident, writer);
+    entry.spill_path =
+        spill_dir_ + "/layer_" + std::to_string(entry.step) + ".bin";
+    ARIADNE_RETURN_NOT_OK(WriteFile(entry.spill_path, writer.data()));
+  }
+  entry.resident.reset();
+  return Status::OK();
+}
+
+Result<Layer> ProvenanceStore::LoadLayer(const LayerEntry& entry) const {
+  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFile(entry.spill_path));
+  BinaryReader reader(std::move(data));
+  return DeserializeLayer(reader);
+}
+
+Status ProvenanceStore::ApplySpillPolicy(int keep_step) {
+  if (!spill_enabled_) return Status::OK();
+  size_t resident = InMemoryBytes();
+  // Oldest-first spill until under budget; `keep_step` stays resident.
+  for (auto& entry : layers_) {
+    if (resident <= spill_budget_) break;
+    if (!entry.resident.has_value()) continue;
+    if (static_cast<int>(entry.step) == keep_step) continue;
+    resident -= entry.byte_size;
+    ARIADNE_RETURN_NOT_OK(SpillLayer(entry));
+  }
+  return Status::OK();
+}
+
+void SerializeLayer(const Layer& layer, BinaryWriter& writer) {
+  writer.WriteI64(layer.step);
+  writer.WriteU64(layer.slices.size());
+  for (const auto& slice : layer.slices) {
+    writer.WriteU32(static_cast<uint32_t>(slice.rel));
+    writer.WriteI64(slice.vertex);
+    writer.WriteU64(slice.tuples.size());
+    for (const Tuple& t : slice.tuples) {
+      writer.WriteU32(static_cast<uint32_t>(t.size()));
+      for (const Value& v : t) writer.WriteValue(v);
+    }
+  }
+}
+
+Result<Layer> DeserializeLayer(BinaryReader& reader) {
+  Layer layer;
+  ARIADNE_ASSIGN_OR_RETURN(int64_t step, reader.ReadI64());
+  layer.step = static_cast<Superstep>(step);
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t n_slices, reader.ReadU64());
+  for (uint64_t s = 0; s < n_slices; ++s) {
+    ARIADNE_ASSIGN_OR_RETURN(uint32_t rel, reader.ReadU32());
+    ARIADNE_ASSIGN_OR_RETURN(int64_t vertex, reader.ReadI64());
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n_tuples, reader.ReadU64());
+    std::vector<Tuple> tuples;
+    tuples.reserve(n_tuples);
+    for (uint64_t i = 0; i < n_tuples; ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(uint32_t arity, reader.ReadU32());
+      Tuple t;
+      t.reserve(arity);
+      for (uint32_t a = 0; a < arity; ++a) {
+        ARIADNE_ASSIGN_OR_RETURN(Value v, reader.ReadValue());
+        t.push_back(std::move(v));
+      }
+      tuples.push_back(std::move(t));
+    }
+    layer.Add(static_cast<int>(rel), vertex, std::move(tuples));
+  }
+  return layer;
+}
+
+Status ProvenanceStore::SaveToFile(const std::string& path) const {
+  BinaryWriter writer;
+  writer.WriteU32(0x41505631);  // "APV1"
+  writer.WriteU64(schema_.size());
+  for (const auto& rel : schema_) {
+    writer.WriteString(rel.name);
+    writer.WriteU32(static_cast<uint32_t>(rel.arity));
+  }
+  SerializeLayer(static_layer_, writer);
+  writer.WriteU64(layers_.size());
+  // Note: spilled layers are reloaded for the save.
+  for (const auto& entry : layers_) {
+    if (entry.resident.has_value()) {
+      SerializeLayer(*entry.resident, writer);
+    } else {
+      auto loaded = LoadLayer(entry);
+      if (!loaded.ok()) return loaded.status();
+      SerializeLayer(*loaded, writer);
+    }
+  }
+  return WriteFile(path, writer.data());
+}
+
+Result<ProvenanceStore> ProvenanceStore::LoadFromFile(
+    const std::string& path) {
+  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  BinaryReader reader(std::move(data));
+  ARIADNE_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
+  if (magic != 0x41505631) {
+    return Status::ParseError("bad provenance store magic");
+  }
+  ProvenanceStore store;
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t n_rels, reader.ReadU64());
+  for (uint64_t i = 0; i < n_rels; ++i) {
+    ARIADNE_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    ARIADNE_ASSIGN_OR_RETURN(uint32_t arity, reader.ReadU32());
+    store.AddRelation(name, static_cast<int>(arity));
+  }
+  ARIADNE_ASSIGN_OR_RETURN(store.static_layer_, DeserializeLayer(reader));
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t n_layers, reader.ReadU64());
+  for (uint64_t i = 0; i < n_layers; ++i) {
+    ARIADNE_ASSIGN_OR_RETURN(Layer layer, DeserializeLayer(reader));
+    ARIADNE_RETURN_NOT_OK(store.AppendLayer(std::move(layer)));
+  }
+  return store;
+}
+
+}  // namespace ariadne

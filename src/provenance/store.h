@@ -1,0 +1,125 @@
+#ifndef ARIADNE_PROVENANCE_STORE_H_
+#define ARIADNE_PROVENANCE_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "engine/types.h"
+#include "graph/graph.h"
+#include "pql/analysis.h"
+#include "pql/relation.h"
+
+namespace ariadne {
+
+/// Schema entry of a stored provenance relation.
+struct StoredRelation {
+  std::string name;
+  int arity = 0;
+};
+
+/// All tuples one vertex contributed to one relation within a layer.
+struct LayerSlice {
+  int rel = 0;  ///< index into ProvenanceStore schema
+  VertexId vertex = 0;
+  std::vector<Tuple> tuples;
+};
+
+/// One layer of the provenance graph (Definition 5.1): everything captured
+/// during one superstep, in the compact per-vertex representation.
+struct Layer {
+  Superstep step = 0;
+  std::vector<LayerSlice> slices;
+  size_t byte_size = 0;
+
+  void Add(int rel, VertexId vertex, std::vector<Tuple> tuples);
+};
+
+/// The captured provenance graph. Layers are appended in superstep order
+/// during capture; a separate "static" segment holds superstep-independent
+/// relations (e.g. the prov-edges copy of paper Query 11). When a memory
+/// budget is set, sealed layers beyond the budget spill to disk (the
+/// stand-in for the paper's asynchronous HDFS offload) and reload on
+/// demand during layered evaluation.
+class ProvenanceStore {
+ public:
+  ProvenanceStore() = default;
+
+  ProvenanceStore(const ProvenanceStore&) = delete;
+  ProvenanceStore& operator=(const ProvenanceStore&) = delete;
+  ProvenanceStore(ProvenanceStore&&) = default;
+  ProvenanceStore& operator=(ProvenanceStore&&) = default;
+
+  // ---- Schema ----
+
+  /// Registers (or finds) a stored relation; returns its id.
+  int AddRelation(const std::string& name, int arity);
+  int RelId(const std::string& name) const;  ///< -1 if absent
+  const std::vector<StoredRelation>& schema() const { return schema_; }
+
+  /// Schema view for Analyze() of offline queries.
+  StoreSchema ToStoreSchema() const;
+
+  // ---- Building (capture) ----
+
+  /// Enables spilling: when in-memory layer bytes exceed `budget_bytes`,
+  /// the oldest resident layers are written to `dir`.
+  Status EnableSpill(std::string dir, size_t budget_bytes);
+
+  Layer& static_layer() { return static_layer_; }
+
+  /// Seals a layer (must have `layer.step == num_layers()`), then applies
+  /// the spill policy.
+  Status AppendLayer(Layer layer);
+
+  // ---- Reading ----
+
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+  /// The layer for superstep `step`, loading it from spill if necessary.
+  /// The returned pointer is valid until the next GetLayer/AppendLayer.
+  Result<const Layer*> GetLayer(int step);
+
+  const Layer& static_data() const { return static_layer_; }
+
+  /// Logical provenance size in bytes (resident + spilled + static) — the
+  /// quantity in paper Tables 3 and 4.
+  size_t TotalBytes() const;
+  size_t InMemoryBytes() const;
+  int64_t TotalTuples() const;
+  int SpilledLayerCount() const;
+
+  /// Serializes the whole store (schema + static + layers) / reloads it.
+  Status SaveToFile(const std::string& path) const;
+  static Result<ProvenanceStore> LoadFromFile(const std::string& path);
+
+ private:
+  struct LayerEntry {
+    std::optional<Layer> resident;
+    std::string spill_path;  ///< non-empty when spilled
+    size_t byte_size = 0;    ///< logical size even when spilled
+    Superstep step = 0;
+  };
+
+  Status SpillLayer(LayerEntry& entry);
+  Result<Layer> LoadLayer(const LayerEntry& entry) const;
+  Status ApplySpillPolicy(int keep_step = -1);
+
+  std::vector<StoredRelation> schema_;
+  Layer static_layer_;
+  std::vector<LayerEntry> layers_;
+  std::string spill_dir_;
+  size_t spill_budget_ = 0;  ///< 0: spilling disabled
+  bool spill_enabled_ = false;
+};
+
+/// Serialization helpers (also used by tests).
+void SerializeLayer(const Layer& layer, BinaryWriter& writer);
+Result<Layer> DeserializeLayer(BinaryReader& reader);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PROVENANCE_STORE_H_

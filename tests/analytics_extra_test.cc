@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "analytics/bfs.h"
+#include "analytics/label_propagation.h"
+#include "core/ariadne.h"
+
+namespace ariadne {
+namespace {
+
+std::vector<int64_t> ReferenceBfs(const Graph& g, VertexId source) {
+  std::vector<int64_t> hops(static_cast<size_t>(g.num_vertices()),
+                            kUnreachedHops);
+  std::queue<VertexId> queue;
+  hops[static_cast<size_t>(source)] = 0;
+  queue.push(source);
+  while (!queue.empty()) {
+    const VertexId v = queue.front();
+    queue.pop();
+    for (VertexId u : g.OutNeighbors(v)) {
+      if (hops[static_cast<size_t>(u)] == kUnreachedHops) {
+        hops[static_cast<size_t>(u)] = hops[static_cast<size_t>(v)] + 1;
+        queue.push(u);
+      }
+    }
+  }
+  return hops;
+}
+
+TEST(BfsTest, MatchesReferenceOnRandomGraphs) {
+  for (uint64_t seed : {1u, 5u, 9u}) {
+    auto g = GenerateRmat({.scale = 8, .avg_degree = 5, .seed = seed});
+    ASSERT_TRUE(g.ok());
+    const VertexId source = HighestDegreeVertex(*g);
+    BfsProgram program(source);
+    Engine<int64_t, int64_t> engine(&*g);
+    ASSERT_TRUE(engine.Run(program).ok());
+    const auto expected = ReferenceBfs(*g, source);
+    for (VertexId v = 0; v < g->num_vertices(); ++v) {
+      EXPECT_EQ(engine.value(v), expected[static_cast<size_t>(v)])
+          << "vertex " << v << " seed " << seed;
+    }
+  }
+}
+
+TEST(BfsTest, ChainHopsAreExact) {
+  auto g = GenerateChain(10);
+  ASSERT_TRUE(g.ok());
+  BfsProgram program(0);
+  Engine<int64_t, int64_t> engine(&*g);
+  auto stats = engine.Run(program);
+  ASSERT_TRUE(stats.ok());
+  for (VertexId v = 0; v < 10; ++v) EXPECT_EQ(engine.value(v), v);
+  EXPECT_EQ(stats->supersteps, 10);  // one thin frontier layer per hop
+}
+
+TEST(BfsTest, SupportsOnlineMonitoring) {
+  auto g = GenerateRmat({.scale = 8, .avg_degree = 5, .seed = 2});
+  ASSERT_TRUE(g.ok());
+  Session session(&*g);
+  auto query = session.PrepareOnline(queries::NoMessageNoChangeCheck());
+  ASSERT_TRUE(query.ok());
+  BfsProgram bfs(HighestDegreeVertex(*g));
+  auto run = session.RunOnline(bfs, *query, /*retention_window=*/2);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->query_result.TupleCount("problem"), 0u);
+}
+
+TEST(LabelPropagationTest, TwoCliquesSeparate) {
+  // Two 5-cliques joined by a single bridge edge: LP should give each
+  // clique a uniform label, different across cliques.
+  GraphBuilder builder;
+  auto add_clique = [&](VertexId base) {
+    for (VertexId i = 0; i < 5; ++i) {
+      for (VertexId j = 0; j < 5; ++j) {
+        if (i != j) builder.AddEdge(base + i, base + j, 1.0);
+      }
+    }
+  };
+  add_clique(0);
+  add_clique(5);
+  builder.AddEdge(4, 5, 1.0);
+  auto g = builder.Build();
+  ASSERT_TRUE(g.ok());
+
+  LabelPropagationProgram program(/*rounds=*/8);
+  Engine<int64_t, int64_t> engine(&*g);
+  ASSERT_TRUE(engine.Run(program).ok());
+  for (VertexId v = 1; v < 5; ++v) {
+    EXPECT_EQ(engine.value(v), engine.value(0)) << "clique A vertex " << v;
+  }
+  for (VertexId v = 6; v < 10; ++v) {
+    EXPECT_EQ(engine.value(v), engine.value(5)) << "clique B vertex " << v;
+  }
+  EXPECT_NE(engine.value(0), engine.value(5));
+}
+
+TEST(LabelPropagationTest, RunsForExactlyTheConfiguredRounds) {
+  auto g = GenerateGrid(4, 4);
+  ASSERT_TRUE(g.ok());
+  LabelPropagationProgram program(6);
+  Engine<int64_t, int64_t> engine(&*g);
+  auto stats = engine.Run(program);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->supersteps, 7);  // rounds 0..6
+}
+
+TEST(LabelPropagationTest, AptQueryRunsOnline) {
+  auto g = GenerateRmat({.scale = 7, .avg_degree = 6, .seed = 4});
+  ASSERT_TRUE(g.ok());
+  Session session(&*g);
+  auto apt = session.PrepareOnline(queries::Apt(), {{"eps", Value(0.0)}});
+  ASSERT_TRUE(apt.ok());
+  LabelPropagationProgram lp(5);
+  auto run = session.RunOnline(lp, *apt, /*retention_window=*/2);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  // Every active vertex-step lands in exactly one of safe/unsafe... or
+  // received a large update; structural sanity only.
+  EXPECT_EQ(run->query_result.TupleCount("safe") +
+                run->query_result.TupleCount("unsafe"),
+            run->query_result.TupleCount("no-execute"));
+}
+
+// ------------------------------------------------------- Session surface
+
+TEST(SessionTest, PrepareRejectsGarbage) {
+  auto g = GenerateChain(4);
+  ASSERT_TRUE(g.ok());
+  Session session(&*g);
+  EXPECT_FALSE(session.PrepareOnline("not a query").ok());
+  EXPECT_FALSE(session.PrepareOnline("p(x) <- nope(x, y).").ok());
+  EXPECT_FALSE(
+      session.PrepareOnline(queries::Apt(), {{"wrong", Value(1.0)}}).ok());
+}
+
+TEST(SessionTest, CaptureRequiresStore) {
+  auto g = GenerateChain(4);
+  ASSERT_TRUE(g.ok());
+  Session session(&*g);
+  auto capture = session.PrepareOnline(queries::CaptureFull());
+  ASSERT_TRUE(capture.ok());
+  SsspProgram sssp(0);
+  EXPECT_FALSE(session.Capture(sssp, *capture, nullptr).ok());
+}
+
+TEST(SessionTest, OfflineModeRejectsOnlineEnum) {
+  auto g = GenerateChain(4);
+  ASSERT_TRUE(g.ok());
+  Session session(&*g);
+  ProvenanceStore store;
+  auto capture = session.PrepareOnline(queries::CaptureFull());
+  ASSERT_TRUE(capture.ok());
+  SsspProgram sssp(0);
+  ASSERT_TRUE(session.Capture(sssp, *capture, &store).ok());
+  auto query = session.PrepareOffline(queries::MonotoneUpdateCheck(), store);
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(session.RunOffline(&store, *query, EvalMode::kOnline).ok());
+}
+
+TEST(SessionTest, OfflineOnEmptyStoreFails) {
+  auto g = GenerateChain(4);
+  ASSERT_TRUE(g.ok());
+  Session session(&*g);
+  ProvenanceStore store;
+  store.AddRelation("value", 3);
+  auto query = session.PrepareOffline(queries::MonotoneUpdateCheck(), store);
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(session.RunOffline(&store, *query, EvalMode::kLayered).ok());
+  EXPECT_FALSE(session.RunOffline(&store, *query, EvalMode::kNaive).ok());
+}
+
+}  // namespace
+}  // namespace ariadne

@@ -1,0 +1,344 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "analytics/als.h"
+#include "analytics/linalg.h"
+#include "analytics/pagerank.h"
+#include "analytics/sssp.h"
+#include "analytics/value_traits.h"
+#include "analytics/wcc.h"
+#include "engine/engine.h"
+#include "graph/generators.h"
+
+namespace ariadne {
+namespace {
+
+// ------------------------------------------------------------------ linalg
+
+TEST(LinalgTest, SolveLinearKnownSystem) {
+  // 2x + y = 5 ; x + 3y = 10  =>  x = 1, y = 3
+  auto x = SolveLinear({2, 1, 1, 3}, {5, 10});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 1.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 3.0, 1e-9);
+}
+
+TEST(LinalgTest, SolveLinearSingularRejected) {
+  EXPECT_FALSE(SolveLinear({1, 2, 2, 4}, {1, 2}).ok());
+  EXPECT_FALSE(SolveLinear({1, 2, 3}, {1, 2}).ok());  // bad dims
+}
+
+TEST(LinalgTest, SolveLinearNeedsPivoting) {
+  // Zero on the diagonal forces a row swap.
+  auto x = SolveLinear({0, 1, 1, 0}, {2, 3});
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR((*x)[0], 3.0, 1e-9);
+  EXPECT_NEAR((*x)[1], 2.0, 1e-9);
+}
+
+TEST(LinalgTest, NormsAndErrors) {
+  EXPECT_DOUBLE_EQ(Dot({1, 2}, {3, 4}), 11.0);
+  EXPECT_DOUBLE_EQ(EuclideanDistance({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(LpNorm({3, -4}, 2), 5.0);
+  EXPECT_DOUBLE_EQ(LpNorm({3, -4}, 1), 7.0);
+  EXPECT_DOUBLE_EQ(RelativeError({1, 1}, {1, 1}, 2), 0.0);
+  EXPECT_GT(RelativeError({1, 1}, {2, 1}, 2), 0.0);
+  EXPECT_DOUBLE_EQ(Median({5, 1, 3}), 3.0);
+  EXPECT_DOUBLE_EQ(Median({1, 2, 3, 4}), 2.5);
+}
+
+// ----------------------------------------------------------------- PageRank
+
+TEST(PageRankTest, MassConservedWithDanglingRedistribution) {
+  auto g = GenerateRmat({.scale = 8, .avg_degree = 6, .seed = 3});
+  ASSERT_TRUE(g.ok());
+  PageRankOptions opts;
+  opts.iterations = 15;
+  opts.redistribute_dangling = true;
+  PageRankProgram program(opts);
+  Engine<double, double> engine(&*g);
+  ASSERT_TRUE(engine.Run(program).ok());
+  double mass = 0;
+  for (double r : engine.values()) mass += r;
+  EXPECT_NEAR(mass, static_cast<double>(g->num_vertices()),
+              0.01 * static_cast<double>(g->num_vertices()));
+}
+
+TEST(PageRankTest, CycleIsUniform) {
+  auto g = GenerateCycle(10);
+  ASSERT_TRUE(g.ok());
+  PageRankProgram program({.iterations = 30});
+  Engine<double, double> engine(&*g);
+  ASSERT_TRUE(engine.Run(program).ok());
+  for (double r : engine.values()) EXPECT_NEAR(r, 1.0, 1e-6);
+}
+
+TEST(PageRankTest, RunsExactlyIterationsPlusOneSupersteps) {
+  auto g = GenerateCycle(5);
+  ASSERT_TRUE(g.ok());
+  PageRankProgram program({.iterations = 7});
+  Engine<double, double> engine(&*g);
+  auto stats = engine.Run(program);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->supersteps, 8);
+}
+
+TEST(PageRankTest, ApproxCloseToExactAndCheaper) {
+  auto g = GenerateRmat({.scale = 10, .avg_degree = 8, .seed = 21});
+  ASSERT_TRUE(g.ok());
+  PageRankOptions opts;
+  opts.iterations = 20;
+  PageRankProgram exact(opts);
+  Engine<double, double> exact_engine(&*g);
+  auto exact_stats = exact_engine.Run(exact);
+  ASSERT_TRUE(exact_stats.ok());
+
+  ApproxPageRankProgram approx(opts, /*epsilon=*/0.01);
+  Engine<ApproxPageRankState, double> approx_engine(&*g);
+  auto approx_stats = approx_engine.Run(approx);
+  ASSERT_TRUE(approx_stats.ok());
+
+  std::vector<double> exact_ranks(exact_engine.values().begin(),
+                                  exact_engine.values().end());
+  std::vector<double> approx_ranks;
+  approx_ranks.reserve(exact_ranks.size());
+  for (const auto& s : approx_engine.values()) approx_ranks.push_back(s.rank);
+
+  EXPECT_LT(RelativeError(exact_ranks, approx_ranks, 2), 0.05);
+  EXPECT_LT(approx_stats->total_messages, exact_stats->total_messages);
+}
+
+// ------------------------------------------------------------------- SSSP
+
+std::vector<double> Dijkstra(const Graph& g, VertexId source) {
+  std::vector<double> dist(static_cast<size_t>(g.num_vertices()),
+                           kInfiniteDistance);
+  using Item = std::pair<double, VertexId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[static_cast<size_t>(source)] = 0;
+  heap.push({0, source});
+  while (!heap.empty()) {
+    auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[static_cast<size_t>(v)]) continue;
+    auto nbrs = g.OutNeighbors(v);
+    auto weights = g.OutWeights(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const double nd = d + weights[i];
+      if (nd < dist[static_cast<size_t>(nbrs[i])]) {
+        dist[static_cast<size_t>(nbrs[i])] = nd;
+        heap.push({nd, nbrs[i]});
+      }
+    }
+  }
+  return dist;
+}
+
+TEST(SsspTest, MatchesDijkstraOnRandomGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    auto g = GenerateRmat({.scale = 8, .avg_degree = 6, .seed = seed});
+    ASSERT_TRUE(g.ok());
+    SsspProgram program(/*source=*/0);
+    Engine<double, double> engine(&*g);
+    ASSERT_TRUE(engine.Run(program).ok());
+    const auto expected = Dijkstra(*g, 0);
+    for (VertexId v = 0; v < g->num_vertices(); ++v) {
+      EXPECT_NEAR(engine.value(v), expected[static_cast<size_t>(v)], 1e-9)
+          << "vertex " << v << " seed " << seed;
+    }
+  }
+}
+
+TEST(SsspTest, UnreachableStaysInfinite) {
+  auto g = GenerateChain(4);
+  ASSERT_TRUE(g.ok());
+  SsspProgram program(/*source=*/2);
+  Engine<double, double> engine(&*g);
+  ASSERT_TRUE(engine.Run(program).ok());
+  EXPECT_EQ(engine.value(0), kInfiniteDistance);
+  EXPECT_EQ(engine.value(1), kInfiniteDistance);
+  EXPECT_DOUBLE_EQ(engine.value(2), 0.0);
+  EXPECT_DOUBLE_EQ(engine.value(3), 1.0);
+}
+
+TEST(SsspTest, CombinerGivesSameDistances) {
+  auto g = GenerateRmat({.scale = 8, .avg_degree = 8, .seed = 9});
+  ASSERT_TRUE(g.ok());
+  SsspProgram plain(0, /*use_combiner=*/false);
+  Engine<double, double> e1(&*g);
+  ASSERT_TRUE(e1.Run(plain).ok());
+  SsspProgram combined(0, /*use_combiner=*/true);
+  Engine<double, double> e2(&*g);
+  ASSERT_TRUE(e2.Run(combined).ok());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_DOUBLE_EQ(e1.value(v), e2.value(v));
+  }
+}
+
+TEST(SsspTest, ApproxWithinAdditiveEpsilonPerHop) {
+  auto g = GenerateRmat({.scale = 9, .avg_degree = 8, .seed = 4});
+  ASSERT_TRUE(g.ok());
+  const double eps = 0.1;
+  SsspProgram exact(0);
+  Engine<double, double> e1(&*g);
+  auto s1 = e1.Run(exact);
+  ASSERT_TRUE(s1.ok());
+  ApproxSsspProgram approx(0, eps);
+  Engine<double, double> e2(&*g);
+  auto s2 = e2.Run(approx);
+  ASSERT_TRUE(s2.ok());
+  int64_t reached = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    if (e1.value(v) == kInfiniteDistance) {
+      EXPECT_EQ(e2.value(v), kInfiniteDistance);
+      continue;
+    }
+    ++reached;
+    EXPECT_GE(e2.value(v) + 1e-12, e1.value(v));  // never shorter than exact
+    // Approximation error is bounded by eps per relaxation hop; use a
+    // generous structural bound instead of an exact constant.
+    EXPECT_LE(e2.value(v), e1.value(v) + eps * 64);
+  }
+  EXPECT_GT(reached, 0);
+  EXPECT_LE(s2->total_messages, s1->total_messages);
+}
+
+// -------------------------------------------------------------------- WCC
+
+TEST(WccTest, MatchesUnionFind) {
+  auto g = GenerateErdosRenyi(300, 400, 8);
+  ASSERT_TRUE(g.ok());
+  WccProgram program;
+  Engine<int64_t, int64_t> engine(&*g);
+  ASSERT_TRUE(engine.Run(program).ok());
+
+  // Reference union-find over undirected edges.
+  std::vector<VertexId> parent(static_cast<size_t>(g->num_vertices()));
+  for (size_t i = 0; i < parent.size(); ++i) parent[i] = static_cast<VertexId>(i);
+  std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    while (parent[static_cast<size_t>(v)] != v) {
+      parent[static_cast<size_t>(v)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(v)])];
+      v = parent[static_cast<size_t>(v)];
+    }
+    return v;
+  };
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (VertexId u : g->OutNeighbors(v)) {
+      parent[static_cast<size_t>(find(u))] = find(v);
+    }
+  }
+  // Same component <=> same label.
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (VertexId u : g->OutNeighbors(v)) {
+      EXPECT_EQ(engine.value(v), engine.value(u));
+    }
+  }
+  // Label is the smallest id in the component.
+  std::unordered_map<VertexId, int64_t> min_of_root;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    const VertexId root = find(v);
+    auto it = min_of_root.find(root);
+    if (it == min_of_root.end() || v < it->second) min_of_root[root] = v;
+  }
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    EXPECT_EQ(engine.value(v), min_of_root[find(v)]);
+  }
+}
+
+TEST(WccTest, ApproxWccBreaksComponents) {
+  // A chain has many label improvements of exactly 1; suppressing them
+  // must leave wrong labels (the paper's negative result for WCC).
+  auto g = GenerateChain(64);
+  ASSERT_TRUE(g.ok());
+  ApproxWccProgram program(/*epsilon=*/1);
+  Engine<int64_t, int64_t> engine(&*g);
+  ASSERT_TRUE(engine.Run(program).ok());
+  int64_t wrong = 0;
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    if (engine.value(v) != 0) ++wrong;
+  }
+  EXPECT_GT(wrong, 0);
+}
+
+// -------------------------------------------------------------------- ALS
+
+TEST(AlsTest, TrainingErrorDecreases) {
+  BipartiteRatingsOptions gopts;
+  gopts.num_users = 120;
+  gopts.num_items = 40;
+  gopts.ratings_per_user = 10;
+  auto r = GenerateBipartiteRatings(gopts);
+  ASSERT_TRUE(r.ok());
+
+  AlsOptions opts;
+  opts.num_features = 5;
+  opts.max_iterations = 5;
+  opts.tolerance = 0;  // run all iterations
+  AlsProgram program(opts, r->num_users);
+  Engine<std::vector<double>, std::vector<double>> engine(&r->graph);
+  ASSERT_TRUE(engine.Run(program).ok());
+
+  const double trained = AlsRmse(r->graph, r->num_users, engine.values());
+  // Untrained baseline: initial random features.
+  std::vector<std::vector<double>> initial;
+  initial.reserve(static_cast<size_t>(r->graph.num_vertices()));
+  for (VertexId v = 0; v < r->graph.num_vertices(); ++v) {
+    initial.push_back(program.InitialValue(v, r->graph));
+  }
+  const double untrained = AlsRmse(r->graph, r->num_users, initial);
+  EXPECT_LT(trained, untrained);
+  EXPECT_LT(trained, 1.0);  // ratings in [0,5]; the model must fit decently
+  EXPECT_GT(program.last_rmse(), 0.0);
+}
+
+TEST(AlsTest, ToleranceStopsEarly) {
+  auto r = GenerateBipartiteRatings(
+      {.num_users = 60, .num_items = 20, .ratings_per_user = 8});
+  ASSERT_TRUE(r.ok());
+  AlsOptions opts;
+  opts.max_iterations = 50;
+  opts.tolerance = 0.5;  // very loose: stop almost immediately
+  AlsProgram program(opts, r->num_users);
+  Engine<std::vector<double>, std::vector<double>> engine(&r->graph);
+  auto stats = engine.Run(program);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LT(stats->supersteps, 20);
+}
+
+TEST(AlsTest, AlternatingSchedule) {
+  auto r = GenerateBipartiteRatings(
+      {.num_users = 30, .num_items = 10, .ratings_per_user = 5});
+  ASSERT_TRUE(r.ok());
+  AlsOptions opts;
+  opts.max_iterations = 3;
+  opts.tolerance = 0;
+  AlsProgram program(opts, r->num_users);
+  Engine<std::vector<double>, std::vector<double>> engine(&r->graph);
+  auto stats = engine.Run(program);
+  ASSERT_TRUE(stats.ok());
+  // Superstep 0 activates all; afterwards the two sides alternate, so the
+  // active count per step is one side or the other.
+  for (const auto& step : stats->steps) {
+    if (step.step == 0) continue;
+    EXPECT_TRUE(step.active_vertices == r->num_users ||
+                step.active_vertices == r->num_items)
+        << "superstep " << step.step << " active " << step.active_vertices;
+  }
+}
+
+// -------------------------------------------------------------- ValueTraits
+
+TEST(ValueTraitsTest, Conversions) {
+  EXPECT_EQ(ValueTraits<double>::ToValue(1.5), Value(1.5));
+  EXPECT_EQ(ValueTraits<int64_t>::ToValue(7), Value(int64_t{7}));
+  EXPECT_EQ(ValueTraits<std::vector<double>>::ToValue({1, 2}),
+            Value(std::vector<double>{1, 2}));
+  ApproxPageRankState state;
+  state.rank = 0.25;
+  EXPECT_EQ(ValueTraits<ApproxPageRankState>::ToValue(state), Value(0.25));
+}
+
+}  // namespace
+}  // namespace ariadne

@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/ariadne.h"
+#include "provenance/compact_view.h"
+
+namespace ariadne {
+namespace {
+
+/// Chain SSSP capture (see integration_test.cc for the exact event
+/// schedule: vertex v updates at superstep v).
+class CompactViewFixture : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = GenerateChain(6);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    Session session(&graph_);
+    auto capture = session.PrepareOnline(queries::CaptureFull());
+    ASSERT_TRUE(capture.ok());
+    SsspProgram sssp(0);
+    ASSERT_TRUE(session.Capture(sssp, *capture, &store_).ok());
+  }
+
+  Graph graph_;
+  ProvenanceStore store_;
+};
+
+TEST_F(CompactViewFixture, VerticesCoverAllActive) {
+  auto view = CompactProvenance::Build(&store_);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->Vertices(), (std::vector<VertexId>{0, 1, 2, 3, 4, 5}));
+  EXPECT_GT(view->TotalBytes(), 0u);
+}
+
+TEST_F(CompactViewFixture, ValueHistoryPerVertex) {
+  auto view = CompactProvenance::Build(&store_);
+  ASSERT_TRUE(view.ok());
+  // Vertex 3: MAX at superstep 0, distance 3 at superstep 3.
+  auto history = view->ValueHistory(3);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].first, 0);
+  EXPECT_EQ(history[0].second, Value(kInfiniteDistance));
+  EXPECT_EQ(history[1].first, 3);
+  EXPECT_EQ(history[1].second, Value(3.0));
+  // Vertex 0: a single activation at superstep 0 with distance 0.
+  auto source = view->ValueHistory(0);
+  ASSERT_EQ(source.size(), 1u);
+  EXPECT_EQ(source[0].second, Value(0.0));
+}
+
+TEST_F(CompactViewFixture, ActivationsAndEvolution) {
+  auto view = CompactProvenance::Build(&store_);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->ActiveSupersteps(4), (std::vector<Superstep>{0, 4}));
+  EXPECT_EQ(view->Evolution(4),
+            (std::vector<std::pair<Superstep, Superstep>>{{0, 4}}));
+  EXPECT_TRUE(view->Evolution(0).empty());  // single activation
+}
+
+TEST_F(CompactViewFixture, MessageEdges) {
+  auto view = CompactProvenance::Build(&store_);
+  ASSERT_TRUE(view.ok());
+  // Vertex 2 sends once (to 3, at superstep 2) and receives once (from 1,
+  // at superstep 2).
+  EXPECT_EQ(view->SentTo(2),
+            (std::vector<std::pair<VertexId, Superstep>>{{3, 2}}));
+  EXPECT_EQ(view->ReceivedFrom(2),
+            (std::vector<std::pair<VertexId, Superstep>>{{1, 2}}));
+  // The terminal vertex never sends.
+  EXPECT_TRUE(view->SentTo(5).empty());
+}
+
+TEST_F(CompactViewFixture, DescribeMentionsEverySection) {
+  auto view = CompactProvenance::Build(&store_);
+  ASSERT_TRUE(view.ok());
+  const std::string text = view->Describe(2);
+  EXPECT_NE(text.find("vertex 2"), std::string::npos);
+  EXPECT_NE(text.find("values:"), std::string::npos);
+  EXPECT_NE(text.find("active: 0 2"), std::string::npos);
+  EXPECT_NE(text.find("->3@2"), std::string::npos);
+  EXPECT_NE(text.find("<-1@2"), std::string::npos);
+}
+
+TEST_F(CompactViewFixture, UnknownVertexAndRelationAreEmpty) {
+  auto view = CompactProvenance::Build(&store_);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->Table(99, "value").empty());
+  EXPECT_TRUE(view->Table(2, "no-such-relation").empty());
+  EXPECT_TRUE(view->ValueHistory(99).empty());
+}
+
+TEST(CompactViewCustomCapture, WorksOnProvValueSchema) {
+  auto g = GenerateChain(5);
+  ASSERT_TRUE(g.ok());
+  Session session(&*g);
+  ProvenanceStore store;
+  auto capture = session.PrepareOnline(queries::CaptureCustomBackward());
+  ASSERT_TRUE(capture.ok());
+  SsspProgram sssp(0);
+  ASSERT_TRUE(session.Capture(sssp, *capture, &store).ok());
+  auto view = CompactProvenance::Build(&store);
+  ASSERT_TRUE(view.ok());
+  // prov-value(x, i, d) layout is detected and normalized.
+  auto history = view->ValueHistory(2);
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[1].first, 2);
+  EXPECT_EQ(history[1].second, Value(2.0));
+  // prov-send(x, i) has no destination: peer is reported as -1.
+  auto sent = view->SentTo(2);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].first, -1);
+  EXPECT_EQ(sent[0].second, 2);
+}
+
+}  // namespace
+}  // namespace ariadne

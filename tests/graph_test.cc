@@ -1,0 +1,241 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/serialize.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/io.h"
+#include "graph/stats.h"
+
+namespace ariadne {
+namespace {
+
+TEST(GraphTest, FromEdgesBuildsCsrBothDirections) {
+  auto g = Graph::FromEdges(4, {{0, 1, 0.5}, {0, 2, 0.25}, {2, 1, 1.0}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 4);
+  EXPECT_EQ(g->num_edges(), 3);
+  EXPECT_EQ(g->OutDegree(0), 2);
+  EXPECT_EQ(g->OutDegree(3), 0);
+  EXPECT_EQ(g->InDegree(1), 2);
+  ASSERT_EQ(g->OutNeighbors(0).size(), 2u);
+  EXPECT_EQ(g->OutNeighbors(0)[0], 1);
+  EXPECT_EQ(g->OutNeighbors(0)[1], 2);
+  EXPECT_DOUBLE_EQ(g->OutWeights(0)[0], 0.5);
+  EXPECT_DOUBLE_EQ(g->OutWeights(0)[1], 0.25);
+  ASSERT_EQ(g->InNeighbors(1).size(), 2u);
+  EXPECT_EQ(g->InNeighbors(1)[0], 0);
+  EXPECT_EQ(g->InNeighbors(1)[1], 2);
+}
+
+TEST(GraphTest, InWeightsFollowInNeighbors) {
+  auto g = Graph::FromEdges(3, {{0, 2, 0.1}, {1, 2, 0.9}});
+  ASSERT_TRUE(g.ok());
+  ASSERT_EQ(g->InNeighbors(2).size(), 2u);
+  EXPECT_DOUBLE_EQ(g->InWeights(2)[0], 0.1);
+  EXPECT_DOUBLE_EQ(g->InWeights(2)[1], 0.9);
+}
+
+TEST(GraphTest, OutOfRangeEdgeRejected) {
+  EXPECT_FALSE(Graph::FromEdges(2, {{0, 2, 1.0}}).ok());
+  EXPECT_FALSE(Graph::FromEdges(2, {{-1, 0, 1.0}}).ok());
+  EXPECT_FALSE(Graph::FromEdges(-1, {}).ok());
+}
+
+TEST(GraphTest, HasEdge) {
+  auto g = Graph::FromEdges(3, {{0, 1, 1}, {1, 2, 1}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(g->HasEdge(0, 1));
+  EXPECT_FALSE(g->HasEdge(1, 0));
+  EXPECT_FALSE(g->HasEdge(0, 2));
+}
+
+TEST(GraphTest, ParallelEdgesKept) {
+  auto g = Graph::FromEdges(2, {{0, 1, 1}, {0, 1, 2}});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+}
+
+TEST(GraphBuilderTest, DedupAndSelfLoops) {
+  GraphBuilder b;
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 1, 2.0);
+  b.AddEdge(2, 2, 1.0);
+  b.DropSelfLoops();
+  b.Dedup();
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1);
+  EXPECT_EQ(g->num_vertices(), 3);  // vertex 2 still exists
+}
+
+TEST(GeneratorTest, ChainCycleStarGridComplete) {
+  auto chain = GenerateChain(5);
+  ASSERT_TRUE(chain.ok());
+  EXPECT_EQ(chain->num_edges(), 4);
+
+  auto cycle = GenerateCycle(5);
+  ASSERT_TRUE(cycle.ok());
+  EXPECT_EQ(cycle->num_edges(), 5);
+  EXPECT_TRUE(cycle->HasEdge(4, 0));
+
+  auto star = GenerateStar(4);
+  ASSERT_TRUE(star.ok());
+  EXPECT_EQ(star->num_edges(), 6);
+  EXPECT_EQ(star->OutDegree(0), 3);
+
+  auto grid = GenerateGrid(3, 4);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_vertices(), 12);
+  // 2*(rows*(cols-1) + cols*(rows-1)) directed edges.
+  EXPECT_EQ(grid->num_edges(), 2 * (3 * 3 + 4 * 2));
+
+  auto complete = GenerateComplete(4);
+  ASSERT_TRUE(complete.ok());
+  EXPECT_EQ(complete->num_edges(), 12);
+}
+
+TEST(GeneratorTest, RmatDeterministicAndSized) {
+  RmatOptions opts;
+  opts.scale = 8;
+  opts.avg_degree = 8;
+  opts.seed = 7;
+  auto a = GenerateRmat(opts);
+  auto b = GenerateRmat(opts);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_vertices(), 256);
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+  // Dedup/self-loop removal trims some edges but most survive.
+  EXPECT_GT(a->num_edges(), 256 * 8 / 2);
+  // Weights within [0, 1).
+  for (VertexId v = 0; v < a->num_vertices(); ++v) {
+    for (double w : a->OutWeights(v)) {
+      EXPECT_GE(w, 0.0);
+      EXPECT_LT(w, 1.0);
+    }
+  }
+}
+
+TEST(GeneratorTest, RmatIsSkewed) {
+  RmatOptions opts;
+  opts.scale = 10;
+  opts.avg_degree = 16;
+  auto g = GenerateRmat(opts);
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeGraphStats(*g, 0);
+  // Power-law-ish: the max degree is far above the average.
+  EXPECT_GT(static_cast<double>(stats.max_out_degree), 5 * stats.avg_degree);
+}
+
+TEST(GeneratorTest, ErdosRenyi) {
+  auto g = GenerateErdosRenyi(100, 500, 3, /*dedup=*/false);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 100);
+  EXPECT_EQ(g->num_edges(), 500);
+  EXPECT_FALSE(GenerateErdosRenyi(0, 10, 1).ok());
+}
+
+TEST(GeneratorTest, BipartiteRatings) {
+  BipartiteRatingsOptions opts;
+  opts.num_users = 50;
+  opts.num_items = 20;
+  opts.ratings_per_user = 5;
+  auto r = GenerateBipartiteRatings(opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->graph.num_vertices(), 70);
+  // Every rating appears in both directions.
+  EXPECT_EQ(r->graph.num_edges(), 2 * 50 * 5);
+  for (VertexId u = 0; u < 50; ++u) {
+    EXPECT_EQ(r->graph.OutDegree(u), 5);
+    for (VertexId item : r->graph.OutNeighbors(u)) {
+      EXPECT_GE(item, 50);
+      EXPECT_TRUE(r->graph.HasEdge(item, u));
+    }
+    for (double rating : r->graph.OutWeights(u)) {
+      EXPECT_GE(rating, 0.0);
+      EXPECT_LE(rating, 5.0);
+    }
+  }
+  EXPECT_FALSE(GenerateBipartiteRatings({.num_users = 2,
+                                         .num_items = 3,
+                                         .ratings_per_user = 5})
+                   .ok());
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  auto g = GenerateErdosRenyi(40, 120, 11);
+  ASSERT_TRUE(g.ok());
+  const std::string path = testing::TempDir() + "/ariadne_graph.el";
+  ASSERT_TRUE(SaveEdgeList(*g, path).ok());
+  auto loaded = LoadEdgeList(path, g->num_vertices());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g->num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    ASSERT_EQ(loaded->OutDegree(v), g->OutDegree(v));
+    for (size_t i = 0; i < g->OutNeighbors(v).size(); ++i) {
+      EXPECT_EQ(loaded->OutNeighbors(v)[i], g->OutNeighbors(v)[i]);
+    }
+  }
+}
+
+TEST(GraphIoTest, EdgeListParsesCommentsAndWeights) {
+  const std::string path = testing::TempDir() + "/ariadne_manual.el";
+  ASSERT_TRUE(WriteFile(path, "# comment\n% other comment\n0 1 0.5\n1 2\n").ok());
+  auto g = LoadEdgeList(path);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2);
+  EXPECT_DOUBLE_EQ(g->OutWeights(0)[0], 0.5);
+  EXPECT_DOUBLE_EQ(g->OutWeights(1)[0], 1.0);  // default weight
+}
+
+TEST(GraphIoTest, EdgeListRejectsGarbage) {
+  const std::string path = testing::TempDir() + "/ariadne_bad.el";
+  ASSERT_TRUE(WriteFile(path, "0 x\n").ok());
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  ASSERT_TRUE(WriteFile(path, "-1 2\n").ok());
+  EXPECT_FALSE(LoadEdgeList(path).ok());
+  EXPECT_FALSE(LoadEdgeList(path + ".does-not-exist").ok());
+}
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  auto g = GenerateRmat({.scale = 6, .avg_degree = 4, .seed = 5});
+  ASSERT_TRUE(g.ok());
+  const std::string path = testing::TempDir() + "/ariadne_graph.bin";
+  ASSERT_TRUE(SaveBinary(*g, path).ok());
+  auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_vertices(), g->num_vertices());
+  EXPECT_EQ(loaded->num_edges(), g->num_edges());
+  for (VertexId v = 0; v < g->num_vertices(); ++v) {
+    for (size_t i = 0; i < g->OutNeighbors(v).size(); ++i) {
+      EXPECT_EQ(loaded->OutNeighbors(v)[i], g->OutNeighbors(v)[i]);
+      EXPECT_DOUBLE_EQ(loaded->OutWeights(v)[i], g->OutWeights(v)[i]);
+    }
+  }
+  // Corrupt magic is rejected.
+  ASSERT_TRUE(WriteFile(path, "garbagegarbage").ok());
+  EXPECT_FALSE(LoadBinary(path).ok());
+}
+
+TEST(GraphStatsTest, ChainDiameterAndDegrees) {
+  auto g = GenerateChain(10);
+  ASSERT_TRUE(g.ok());
+  GraphStats stats = ComputeGraphStats(*g, 4, 1);
+  EXPECT_EQ(stats.num_vertices, 10);
+  EXPECT_EQ(stats.num_edges, 9);
+  EXPECT_EQ(stats.max_out_degree, 1);
+  EXPECT_GT(stats.avg_diameter, 0.0);
+  EXPECT_GT(stats.input_bytes, 0u);
+}
+
+TEST(GraphStatsTest, HighestDegreeVertex) {
+  auto g = GenerateStar(8);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(HighestDegreeVertex(*g), 0);
+}
+
+}  // namespace
+}  // namespace ariadne

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "pql/relation.h"
+
+namespace ariadne {
+namespace {
+
+Tuple T(std::initializer_list<int64_t> vals) {
+  Tuple t;
+  for (int64_t v : vals) t.emplace_back(v);
+  return t;
+}
+
+TEST(RelationTest, InsertDedups) {
+  Relation r(2);
+  EXPECT_TRUE(r.Insert(T({1, 2})));
+  EXPECT_TRUE(r.Insert(T({1, 3})));
+  EXPECT_FALSE(r.Insert(T({1, 2})));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T({1, 2})));
+  EXPECT_FALSE(r.Contains(T({2, 1})));
+}
+
+TEST(RelationTest, VersionBumpsOnChange) {
+  Relation r(1);
+  const uint64_t v0 = r.version();
+  r.Insert(T({1}));
+  EXPECT_GT(r.version(), v0);
+  const uint64_t v1 = r.version();
+  r.Insert(T({1}));  // duplicate: no change
+  EXPECT_EQ(r.version(), v1);
+}
+
+TEST(RelationTest, ProbeFindsMatchingRows) {
+  Relation r(2);
+  r.Insert(T({1, 10}));
+  r.Insert(T({2, 20}));
+  r.Insert(T({1, 30}));
+  auto& rows = r.Probe(0, Value(int64_t{1}));
+  EXPECT_EQ(rows.size(), 2u);
+  EXPECT_TRUE(r.Probe(0, Value(int64_t{9})).empty());
+  // Index extends incrementally on later inserts.
+  r.Insert(T({1, 40}));
+  EXPECT_EQ(r.Probe(0, Value(int64_t{1})).size(), 3u);
+  // Second-column index coexists.
+  EXPECT_EQ(r.Probe(1, Value(int64_t{20})).size(), 1u);
+}
+
+TEST(RelationTest, ReplaceAllDetectsNoChange) {
+  Relation r(1);
+  r.Insert(T({1}));
+  r.Insert(T({2}));
+  const uint64_t v = r.version();
+  EXPECT_FALSE(r.ReplaceAll({T({2}), T({1}), T({1})}));  // same set
+  EXPECT_EQ(r.version(), v);
+  EXPECT_TRUE(r.ReplaceAll({T({1}), T({3})}));
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains(T({3})));
+  EXPECT_FALSE(r.Contains(T({2})));
+}
+
+TEST(RelationTest, RemoveIf) {
+  Relation r(2);
+  for (int64_t i = 0; i < 10; ++i) r.Insert(T({i, i * 2}));
+  r.RemoveIf([](const Tuple& t) { return t[0].AsInt() < 5; });
+  EXPECT_EQ(r.size(), 5u);
+  EXPECT_FALSE(r.Contains(T({0, 0})));
+  EXPECT_TRUE(r.Contains(T({9, 18})));
+  // Probe index rebuilt correctly after removal.
+  EXPECT_EQ(r.Probe(0, Value(int64_t{9})).size(), 1u);
+  EXPECT_TRUE(r.Probe(0, Value(int64_t{1})).empty());
+}
+
+TEST(RelationTest, ByteSizeTracksContents) {
+  Relation r(2);
+  EXPECT_EQ(r.byte_size(), 0u);
+  r.Insert(T({1, 2}));
+  const size_t one = r.byte_size();
+  EXPECT_GT(one, 0u);
+  r.Insert(T({3, 4}));
+  EXPECT_EQ(r.byte_size(), 2 * one);
+  r.Clear();
+  EXPECT_EQ(r.byte_size(), 0u);
+}
+
+TEST(RelationTest, SortedStringsDeterministic) {
+  Relation r(1);
+  r.Insert(T({3}));
+  r.Insert(T({1}));
+  r.Insert(T({2}));
+  EXPECT_EQ(r.ToSortedStrings(),
+            (std::vector<std::string>{"(1)", "(2)", "(3)"}));
+}
+
+TEST(RelationTest, MixedValueKindsDistinct) {
+  Relation r(1);
+  EXPECT_TRUE(r.Insert({Value(int64_t{1})}));
+  EXPECT_TRUE(r.Insert({Value(1.0)}));  // different kind, different tuple
+  EXPECT_EQ(r.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ariadne

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "pql/udf.h"
+
+namespace ariadne {
+namespace {
+
+Result<bool> CallPredicate(const char* name, std::vector<Value> args) {
+  const Udf* udf = UdfRegistry::Default().Find(name);
+  EXPECT_NE(udf, nullptr) << name;
+  EXPECT_EQ(udf->kind, UdfKind::kPredicate) << name;
+  return udf->predicate(args);
+}
+
+Result<Value> CallFunction(const char* name, std::vector<Value> args) {
+  const Udf* udf = UdfRegistry::Default().Find(name);
+  EXPECT_NE(udf, nullptr) << name;
+  EXPECT_EQ(udf->kind, UdfKind::kFunction) << name;
+  return udf->function(args);
+}
+
+TEST(UdfTest, UdfDiffScalarsAndVectors) {
+  // |d1 - d2| <= eps.
+  EXPECT_TRUE(*CallPredicate("udf-diff", {Value(1.0), Value(1.05), Value(0.1)}));
+  EXPECT_FALSE(*CallPredicate("udf-diff", {Value(1.0), Value(1.5), Value(0.1)}));
+  // Integers coerce.
+  EXPECT_TRUE(*CallPredicate("udf-diff",
+                             {Value(int64_t{3}), Value(int64_t{4}), Value(1.0)}));
+  // Vectors compare by euclidean distance.
+  EXPECT_TRUE(*CallPredicate("udf-diff", {Value(std::vector<double>{0, 0}),
+                                          Value(std::vector<double>{3, 4}),
+                                          Value(5.0)}));
+  EXPECT_FALSE(*CallPredicate("udf-diff", {Value(std::vector<double>{0, 0}),
+                                           Value(std::vector<double>{3, 4}),
+                                           Value(4.9)}));
+  // Mismatched vector sizes are an error (treated as no-match upstream).
+  EXPECT_FALSE(CallPredicate("udf-diff", {Value(std::vector<double>{0}),
+                                          Value(std::vector<double>{1, 2}),
+                                          Value(1.0)})
+                   .ok());
+  // Complement.
+  EXPECT_TRUE(*CallPredicate("udf-large-diff",
+                             {Value(1.0), Value(1.5), Value(0.1)}));
+}
+
+TEST(UdfTest, Outside) {
+  EXPECT_TRUE(*CallPredicate("outside", {Value(-0.1), Value(0.0), Value(5.0)}));
+  EXPECT_TRUE(*CallPredicate("outside", {Value(5.1), Value(0.0), Value(5.0)}));
+  EXPECT_FALSE(*CallPredicate("outside", {Value(2.5), Value(0.0), Value(5.0)}));
+  EXPECT_FALSE(*CallPredicate("outside", {Value(0.0), Value(0.0), Value(5.0)}));
+  EXPECT_FALSE(CallPredicate("outside", {Value("x"), Value(0.0), Value(5.0)})
+                   .ok());
+}
+
+TEST(UdfTest, AbsAndEuclidean) {
+  EXPECT_EQ(*CallFunction("abs", {Value(-2.5)}), Value(2.5));
+  EXPECT_EQ(*CallFunction("euclidean", {Value(std::vector<double>{0, 0}),
+                                        Value(std::vector<double>{3, 4})}),
+            Value(5.0));
+  EXPECT_FALSE(CallFunction("euclidean", {Value(1.0), Value(2.0)}).ok());
+}
+
+TEST(UdfTest, AlsHelpers) {
+  // Message = features (2) + rating.
+  const Value features(std::vector<double>{0.5, 2.0});
+  const Value message(std::vector<double>{1.0, 0.25, 4.5});
+  auto prediction = CallFunction("als-predict", {features, message});
+  ASSERT_TRUE(prediction.ok());
+  EXPECT_EQ(*prediction, Value(0.5 * 1.0 + 2.0 * 0.25));
+  EXPECT_EQ(*CallFunction("als-rating", {message}), Value(4.5));
+  // Arity mismatch between features and message is an error.
+  EXPECT_FALSE(
+      CallFunction("als-predict",
+                   {Value(std::vector<double>{1.0}), message})
+          .ok());
+  EXPECT_FALSE(CallFunction("als-rating", {Value(std::vector<double>{})}).ok());
+}
+
+TEST(UdfTest, CustomRegistration) {
+  UdfRegistry registry;
+  registry.RegisterPredicate("is-even", 1,
+                             [](std::span<const Value> args) -> Result<bool> {
+                               ARIADNE_ASSIGN_OR_RETURN(int64_t v,
+                                                        args[0].ToInt());
+                               return v % 2 == 0;
+                             });
+  registry.RegisterFunction("double-it", 1,
+                            [](std::span<const Value> args) -> Result<Value> {
+                              ARIADNE_ASSIGN_OR_RETURN(double v,
+                                                       args[0].ToDouble());
+                              return Value(2 * v);
+                            });
+  const Udf* even = registry.Find("is-even");
+  ASSERT_NE(even, nullptr);
+  EXPECT_EQ(even->arity, 1);
+  const Udf* dbl = registry.Find("double-it");
+  ASSERT_NE(dbl, nullptr);
+  EXPECT_EQ(dbl->arity, 2);  // inputs + output
+  EXPECT_EQ(registry.Find("missing"), nullptr);
+  std::vector<Value> args{Value(int64_t{4})};
+  EXPECT_TRUE(*even->predicate(args));
+}
+
+}  // namespace
+}  // namespace ariadne

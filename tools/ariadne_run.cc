@@ -1,0 +1,234 @@
+// ariadne_run — run an analytic with a provenance query from the command
+// line, over a generated or loaded graph.
+//
+// Usage:
+//   ariadne_run --analytic pagerank|sssp|wcc|bfs [--graph <edge-list>]
+//               [--rmat-scale N] [--avg-degree D] [--seed S]
+//               [--query <file.pql>|apt|q4|q5|q6] [--param name=value ...]
+//               [--mode online|capture] [--store-out <file>]
+//               [--source V] [--iterations N] [--retention W] [--dump T]
+//
+// Examples:
+//   # apt query online on PageRank over a generated web graph
+//   ariadne_run --analytic pagerank --query apt --param eps=0.01
+//
+//   # capture full provenance of SSSP over an edge-list file
+//   ariadne_run --analytic sssp --graph web.el --query capture-full \
+//               --mode capture --store-out web.prov
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analytics/bfs.h"
+#include "common/serialize.h"
+#include "common/string_util.h"
+#include "core/ariadne.h"
+
+using namespace ariadne;
+
+namespace {
+
+struct Args {
+  std::string analytic = "pagerank";
+  std::string graph_path;
+  int rmat_scale = 11;
+  double avg_degree = 12;
+  uint64_t seed = 42;
+  std::string query = "apt";
+  QueryParams params;
+  std::string mode = "online";
+  std::string store_out;
+  VertexId source = -1;
+  int iterations = 20;
+  int retention = 2;
+  std::string dump_table;
+};
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ariadne_run --analytic pagerank|sssp|wcc|bfs\n"
+               "  [--graph <edge-list>] [--rmat-scale N] [--avg-degree D]\n"
+               "  [--seed S] [--query <file.pql>|apt|q4|q5|q6|capture-full|"
+               "capture-custom]\n"
+               "  [--param name=value ...] [--mode online|capture]\n"
+               "  [--store-out <file>] [--source V] [--iterations N]\n"
+               "  [--retention W] [--dump <table>]\n");
+  return 2;
+}
+
+Value ParseParamValue(const std::string& text) {
+  try {
+    size_t pos = 0;
+    const int64_t i = std::stoll(text, &pos);
+    if (pos == text.size()) return Value(i);
+  } catch (...) {
+  }
+  try {
+    size_t pos = 0;
+    const double d = std::stod(text, &pos);
+    if (pos == text.size()) return Value(d);
+  } catch (...) {
+  }
+  return Value(text);
+}
+
+Result<std::string> QueryText(const Args& args) {
+  if (args.query == "apt") return queries::Apt();
+  if (args.query == "q4") return queries::PageRankInDegreeCheck();
+  if (args.query == "q5") return queries::MonotoneUpdateCheck();
+  if (args.query == "q6") return queries::NoMessageNoChangeCheck();
+  if (args.query == "capture-full") return queries::CaptureFull();
+  if (args.query == "capture-custom") return queries::CaptureCustomBackward();
+  return ReadFile(args.query);
+}
+
+template <typename P>
+int RunWith(const Args& args, const Graph& graph, P& program) {
+  Session session(&graph);
+  auto text = QueryText(args);
+  if (!text.ok()) {
+    std::fprintf(stderr, "query: %s\n", text.status().ToString().c_str());
+    return 1;
+  }
+  auto query = session.PrepareOnline(*text, args.params);
+  if (!query.ok()) {
+    std::fprintf(stderr, "analysis: %s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", query->DebugString().c_str());
+
+  if (args.mode == "capture") {
+    ProvenanceStore store;
+    auto stats = session.Capture(program, *query, &store, args.retention);
+    if (!stats.ok()) {
+      std::fprintf(stderr, "capture: %s\n",
+                   stats.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("captured %d layers, %s (%lld tuples) in %.3fs over %d "
+                "supersteps\n",
+                store.num_layers(), HumanBytes(store.TotalBytes()).c_str(),
+                static_cast<long long>(store.TotalTuples()), stats->seconds,
+                stats->supersteps);
+    if (!args.store_out.empty()) {
+      Status saved = store.SaveToFile(args.store_out);
+      if (!saved.ok()) {
+        std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+        return 1;
+      }
+      std::printf("store written to %s\n", args.store_out.c_str());
+    }
+    return 0;
+  }
+
+  auto run = session.RunOnline(program, *query, args.retention);
+  if (!run.ok()) {
+    std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("analytic: %d supersteps, %lld messages, %.3fs\n",
+              run->engine_stats.supersteps,
+              static_cast<long long>(run->engine_stats.total_messages),
+              run->engine_stats.seconds);
+  std::printf("query tables:\n");
+  for (const std::string& name : run->query_result.TableNames()) {
+    std::printf("  %-20s %zu tuple(s)\n", name.c_str(),
+                run->query_result.TupleCount(name));
+  }
+  if (!args.dump_table.empty()) {
+    const Relation* rel = run->query_result.Table(args.dump_table);
+    if (rel == nullptr) {
+      std::fprintf(stderr, "no table named %s\n", args.dump_table.c_str());
+      return 1;
+    }
+    for (const std::string& row : rel->ToSortedStrings()) {
+      std::printf("%s%s\n", args.dump_table.c_str(), row.c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const std::string flag = argv[i];
+    const char* v = nullptr;
+    if (flag == "--analytic" && (v = next())) {
+      args.analytic = v;
+    } else if (flag == "--graph" && (v = next())) {
+      args.graph_path = v;
+    } else if (flag == "--rmat-scale" && (v = next())) {
+      args.rmat_scale = std::atoi(v);
+    } else if (flag == "--avg-degree" && (v = next())) {
+      args.avg_degree = std::atof(v);
+    } else if (flag == "--seed" && (v = next())) {
+      args.seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--query" && (v = next())) {
+      args.query = v;
+    } else if (flag == "--param" && (v = next())) {
+      const std::string kv = v;
+      const auto eq = kv.find('=');
+      if (eq == std::string::npos) return Usage();
+      args.params.emplace_back(kv.substr(0, eq),
+                               ParseParamValue(kv.substr(eq + 1)));
+    } else if (flag == "--mode" && (v = next())) {
+      args.mode = v;
+    } else if (flag == "--store-out" && (v = next())) {
+      args.store_out = v;
+    } else if (flag == "--source" && (v = next())) {
+      args.source = std::atoll(v);
+    } else if (flag == "--iterations" && (v = next())) {
+      args.iterations = std::atoi(v);
+    } else if (flag == "--retention" && (v = next())) {
+      args.retention = std::atoi(v);
+    } else if (flag == "--dump" && (v = next())) {
+      args.dump_table = v;
+    } else {
+      return Usage();
+    }
+  }
+
+  Result<Graph> graph = Status::Internal("no graph");
+  if (!args.graph_path.empty()) {
+    graph = LoadEdgeList(args.graph_path);
+  } else {
+    graph = GenerateRmat({.scale = args.rmat_scale,
+                          .avg_degree = args.avg_degree,
+                          .seed = args.seed,
+                          .max_weight = 2.5});
+  }
+  if (!graph.ok()) {
+    std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("graph: %lld vertices, %lld edges\n",
+              static_cast<long long>(graph->num_vertices()),
+              static_cast<long long>(graph->num_edges()));
+  const VertexId source =
+      args.source >= 0 ? args.source : HighestDegreeVertex(*graph);
+
+  if (args.analytic == "pagerank") {
+    PageRankProgram program({.iterations = args.iterations});
+    return RunWith(args, *graph, program);
+  }
+  if (args.analytic == "sssp") {
+    SsspProgram program(source);
+    return RunWith(args, *graph, program);
+  }
+  if (args.analytic == "wcc") {
+    WccProgram program;
+    return RunWith(args, *graph, program);
+  }
+  if (args.analytic == "bfs") {
+    BfsProgram program(source);
+    return RunWith(args, *graph, program);
+  }
+  return Usage();
+}
