@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_compact.dir/bench_ablation_compact.cc.o"
+  "CMakeFiles/bench_ablation_compact.dir/bench_ablation_compact.cc.o.d"
+  "CMakeFiles/bench_ablation_compact.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_compact.dir/bench_common.cc.o.d"
+  "bench_ablation_compact"
+  "bench_ablation_compact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_compact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fastcapture.dir/bench_ablation_fastcapture.cc.o"
+  "CMakeFiles/bench_ablation_fastcapture.dir/bench_ablation_fastcapture.cc.o.d"
+  "CMakeFiles/bench_ablation_fastcapture.dir/bench_common.cc.o"
+  "CMakeFiles/bench_ablation_fastcapture.dir/bench_common.cc.o.d"
+  "bench_ablation_fastcapture"
+  "bench_ablation_fastcapture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fastcapture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_apt_query.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig11_apt_query.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig11_apt_query.dir/bench_fig11_apt_query.cc.o"
+  "CMakeFiles/bench_fig11_apt_query.dir/bench_fig11_apt_query.cc.o.d"
+  "bench_fig11_apt_query"
+  "bench_fig11_apt_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_apt_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_backward.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig12_backward.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig12_backward.dir/bench_fig12_backward.cc.o"
+  "CMakeFiles/bench_fig12_backward.dir/bench_fig12_backward.cc.o.d"
+  "bench_fig12_backward"
+  "bench_fig12_backward.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_backward.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_capture_runtime.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig7_capture_runtime.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig7_capture_runtime.dir/bench_fig7_capture_runtime.cc.o"
+  "CMakeFiles/bench_fig7_capture_runtime.dir/bench_fig7_capture_runtime.cc.o.d"
+  "bench_fig7_capture_runtime"
+  "bench_fig7_capture_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_capture_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

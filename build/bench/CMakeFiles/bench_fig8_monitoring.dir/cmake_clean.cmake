@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_monitoring.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig8_monitoring.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig8_monitoring.dir/bench_fig8_monitoring.cc.o"
+  "CMakeFiles/bench_fig8_monitoring.dir/bench_fig8_monitoring.cc.o.d"
+  "bench_fig8_monitoring"
+  "bench_fig8_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_als_queries.dir/bench_common.cc.o"
+  "CMakeFiles/bench_fig9_als_queries.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_fig9_als_queries.dir/bench_fig9_als_queries.cc.o"
+  "CMakeFiles/bench_fig9_als_queries.dir/bench_fig9_als_queries.cc.o.d"
+  "bench_fig9_als_queries"
+  "bench_fig9_als_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_als_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

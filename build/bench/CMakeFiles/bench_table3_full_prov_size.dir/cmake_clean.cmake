@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_full_prov_size.dir/bench_common.cc.o"
+  "CMakeFiles/bench_table3_full_prov_size.dir/bench_common.cc.o.d"
+  "CMakeFiles/bench_table3_full_prov_size.dir/bench_table3_full_prov_size.cc.o"
+  "CMakeFiles/bench_table3_full_prov_size.dir/bench_table3_full_prov_size.cc.o.d"
+  "bench_table3_full_prov_size"
+  "bench_table3_full_prov_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_full_prov_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_table3_full_prov_size.
+# This may be replaced when dependencies are built.

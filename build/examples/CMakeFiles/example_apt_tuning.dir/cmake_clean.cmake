@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_apt_tuning.dir/apt_tuning.cpp.o"
+  "CMakeFiles/example_apt_tuning.dir/apt_tuning.cpp.o.d"
+  "example_apt_tuning"
+  "example_apt_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_apt_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

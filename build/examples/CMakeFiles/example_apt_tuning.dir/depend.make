@@ -1,0 +1,2 @@
+# Empty dependencies file for example_apt_tuning.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_backward_trace.dir/backward_trace.cpp.o"
+  "CMakeFiles/example_backward_trace.dir/backward_trace.cpp.o.d"
+  "example_backward_trace"
+  "example_backward_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_backward_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

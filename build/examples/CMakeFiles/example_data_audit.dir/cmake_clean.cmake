@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_data_audit.dir/data_audit.cpp.o"
+  "CMakeFiles/example_data_audit.dir/data_audit.cpp.o.d"
+  "example_data_audit"
+  "example_data_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_data_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analytics/als.cc" "src/CMakeFiles/ariadne.dir/analytics/als.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/analytics/als.cc.o.d"
+  "/root/repo/src/analytics/bfs.cc" "src/CMakeFiles/ariadne.dir/analytics/bfs.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/analytics/bfs.cc.o.d"
+  "/root/repo/src/analytics/label_propagation.cc" "src/CMakeFiles/ariadne.dir/analytics/label_propagation.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/analytics/label_propagation.cc.o.d"
+  "/root/repo/src/analytics/linalg.cc" "src/CMakeFiles/ariadne.dir/analytics/linalg.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/analytics/linalg.cc.o.d"
+  "/root/repo/src/analytics/pagerank.cc" "src/CMakeFiles/ariadne.dir/analytics/pagerank.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/analytics/pagerank.cc.o.d"
+  "/root/repo/src/analytics/sssp.cc" "src/CMakeFiles/ariadne.dir/analytics/sssp.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/analytics/sssp.cc.o.d"
+  "/root/repo/src/analytics/wcc.cc" "src/CMakeFiles/ariadne.dir/analytics/wcc.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/analytics/wcc.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/ariadne.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/random.cc" "src/CMakeFiles/ariadne.dir/common/random.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/common/random.cc.o.d"
+  "/root/repo/src/common/serialize.cc" "src/CMakeFiles/ariadne.dir/common/serialize.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/common/serialize.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/ariadne.dir/common/status.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/ariadne.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/common/string_util.cc.o.d"
+  "/root/repo/src/common/thread_pool.cc" "src/CMakeFiles/ariadne.dir/common/thread_pool.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/common/thread_pool.cc.o.d"
+  "/root/repo/src/common/value.cc" "src/CMakeFiles/ariadne.dir/common/value.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/common/value.cc.o.d"
+  "/root/repo/src/engine/aggregators.cc" "src/CMakeFiles/ariadne.dir/engine/aggregators.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/engine/aggregators.cc.o.d"
+  "/root/repo/src/eval/common.cc" "src/CMakeFiles/ariadne.dir/eval/common.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/eval/common.cc.o.d"
+  "/root/repo/src/eval/layered.cc" "src/CMakeFiles/ariadne.dir/eval/layered.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/eval/layered.cc.o.d"
+  "/root/repo/src/eval/naive.cc" "src/CMakeFiles/ariadne.dir/eval/naive.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/eval/naive.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/ariadne.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/ariadne.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/ariadne.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/stats.cc" "src/CMakeFiles/ariadne.dir/graph/stats.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/graph/stats.cc.o.d"
+  "/root/repo/src/pql/analysis.cc" "src/CMakeFiles/ariadne.dir/pql/analysis.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/analysis.cc.o.d"
+  "/root/repo/src/pql/ast.cc" "src/CMakeFiles/ariadne.dir/pql/ast.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/ast.cc.o.d"
+  "/root/repo/src/pql/catalog.cc" "src/CMakeFiles/ariadne.dir/pql/catalog.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/catalog.cc.o.d"
+  "/root/repo/src/pql/evaluator.cc" "src/CMakeFiles/ariadne.dir/pql/evaluator.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/evaluator.cc.o.d"
+  "/root/repo/src/pql/lexer.cc" "src/CMakeFiles/ariadne.dir/pql/lexer.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/lexer.cc.o.d"
+  "/root/repo/src/pql/parser.cc" "src/CMakeFiles/ariadne.dir/pql/parser.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/parser.cc.o.d"
+  "/root/repo/src/pql/queries.cc" "src/CMakeFiles/ariadne.dir/pql/queries.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/queries.cc.o.d"
+  "/root/repo/src/pql/relation.cc" "src/CMakeFiles/ariadne.dir/pql/relation.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/relation.cc.o.d"
+  "/root/repo/src/pql/udf.cc" "src/CMakeFiles/ariadne.dir/pql/udf.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/pql/udf.cc.o.d"
+  "/root/repo/src/provenance/compact_view.cc" "src/CMakeFiles/ariadne.dir/provenance/compact_view.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/provenance/compact_view.cc.o.d"
+  "/root/repo/src/provenance/store.cc" "src/CMakeFiles/ariadne.dir/provenance/store.cc.o" "gcc" "src/CMakeFiles/ariadne.dir/provenance/store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

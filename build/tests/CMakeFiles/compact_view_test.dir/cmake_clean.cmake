@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compact_view_test.dir/compact_view_test.cc.o"
+  "CMakeFiles/compact_view_test.dir/compact_view_test.cc.o.d"
+  "compact_view_test"
+  "compact_view_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compact_view_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_extra_test.dir/engine_extra_test.cc.o"
+  "CMakeFiles/engine_extra_test.dir/engine_extra_test.cc.o.d"
+  "engine_extra_test"
+  "engine_extra_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

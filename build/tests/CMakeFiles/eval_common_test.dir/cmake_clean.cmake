@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_common_test.dir/eval_common_test.cc.o"
+  "CMakeFiles/eval_common_test.dir/eval_common_test.cc.o.d"
+  "eval_common_test"
+  "eval_common_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_common_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pql_analysis_test.dir/pql_analysis_test.cc.o"
+  "CMakeFiles/pql_analysis_test.dir/pql_analysis_test.cc.o.d"
+  "pql_analysis_test"
+  "pql_analysis_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pql_analysis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pql_evaluator_test.dir/pql_evaluator_test.cc.o"
+  "CMakeFiles/pql_evaluator_test.dir/pql_evaluator_test.cc.o.d"
+  "pql_evaluator_test"
+  "pql_evaluator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pql_evaluator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pql_parser_test.dir/pql_parser_test.cc.o"
+  "CMakeFiles/pql_parser_test.dir/pql_parser_test.cc.o.d"
+  "pql_parser_test"
+  "pql_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pql_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

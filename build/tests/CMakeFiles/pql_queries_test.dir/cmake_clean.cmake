@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pql_queries_test.dir/pql_queries_test.cc.o"
+  "CMakeFiles/pql_queries_test.dir/pql_queries_test.cc.o.d"
+  "pql_queries_test"
+  "pql_queries_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pql_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pql_relation_test.dir/pql_relation_test.cc.o"
+  "CMakeFiles/pql_relation_test.dir/pql_relation_test.cc.o.d"
+  "pql_relation_test"
+  "pql_relation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pql_relation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pql_udf_test.dir/pql_udf_test.cc.o"
+  "CMakeFiles/pql_udf_test.dir/pql_udf_test.cc.o.d"
+  "pql_udf_test"
+  "pql_udf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pql_udf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

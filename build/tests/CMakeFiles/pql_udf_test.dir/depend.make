@@ -1,0 +1,2 @@
+# Empty dependencies file for pql_udf_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_store_test.dir/provenance_store_test.cc.o"
+  "CMakeFiles/provenance_store_test.dir/provenance_store_test.cc.o.d"
+  "provenance_store_test"
+  "provenance_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semi_naive_test.dir/semi_naive_test.cc.o"
+  "CMakeFiles/semi_naive_test.dir/semi_naive_test.cc.o.d"
+  "semi_naive_test"
+  "semi_naive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semi_naive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

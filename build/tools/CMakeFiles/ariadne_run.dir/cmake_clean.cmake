@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ariadne_run.dir/ariadne_run.cc.o"
+  "CMakeFiles/ariadne_run.dir/ariadne_run.cc.o.d"
+  "ariadne_run"
+  "ariadne_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ariadne_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pql_check.dir/pql_check.cc.o"
+  "CMakeFiles/pql_check.dir/pql_check.cc.o.d"
+  "pql_check"
+  "pql_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pql_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
