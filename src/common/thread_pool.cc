@@ -1,14 +1,16 @@
 #include "common/thread_pool.h"
 
-#include <atomic>
+#include <algorithm>
 
 namespace ariadne {
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads <= 1) return;  // inline mode
-  threads_.reserve(num_threads);
-  for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+  // The caller participates as worker 0, so spawn one fewer thread than
+  // the requested concurrency.
+  threads_.reserve(num_threads - 1);
+  for (size_t i = 1; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -17,57 +19,88 @@ ThreadPool::~ThreadPool() {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  job_cv_.notify_all();
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    tasks_.push(std::move(task));
+void ThreadPool::WorkOn(Job& job, size_t worker) {
+  for (;;) {
+    const size_t chunk = job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+    if (chunk >= job.num_chunks) return;
+    const size_t begin = chunk * job.chunk_size;
+    const size_t end = std::min(begin + job.chunk_size, job.n);
+    job.fn(job.ctx, worker, chunk, begin, end);
   }
-  cv_.notify_one();
 }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker) {
+  uint64_t seen_generation = 0;
   for (;;) {
-    std::function<void()> task;
+    Job* job = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
-      if (stop_ && tasks_.empty()) return;
-      task = std::move(tasks_.front());
-      tasks_.pop();
+      job_cv_.wait(lock, [&] {
+        return stop_ || (job_ != nullptr && job_generation_ != seen_generation);
+      });
+      if (stop_) return;
+      seen_generation = job_generation_;
+      job = job_;
     }
-    task();
+    WorkOn(*job, worker);
+    // The caller frees the job only after every pool thread has exited it,
+    // so this fetch_add is the last touch this worker makes.
+    if (job->workers_exited.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        threads_.size()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      done_cv_.notify_one();
+    }
   }
+}
+
+void ThreadPool::RunJob(size_t n, size_t chunk_size, ChunkFn fn, void* ctx) {
+  if (n == 0) return;
+  if (chunk_size == 0) chunk_size = 1;
+  const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  if (threads_.empty() || num_chunks == 1) {
+    // Inline: same chunk boundaries, worker 0 throughout.
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t begin = chunk * chunk_size;
+      fn(ctx, 0, chunk, begin, std::min(begin + chunk_size, n));
+    }
+    return;
+  }
+
+  Job job;
+  job.fn = fn;
+  job.ctx = ctx;
+  job.n = n;
+  job.chunk_size = chunk_size;
+  job.num_chunks = num_chunks;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &job;
+    ++job_generation_;
+  }
+  job_cv_.notify_all();
+  WorkOn(job, /*worker=*/0);
+  // All chunks are claimed; wait until every pool thread has left the job
+  // (it lives on this stack frame) before returning.
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] {
+    return job.workers_exited.load(std::memory_order_acquire) ==
+           threads_.size();
+  });
+  job_ = nullptr;
 }
 
 void ThreadPool::ParallelFor(size_t n,
                              const std::function<void(size_t, size_t)>& fn) {
   if (n == 0) return;
-  if (threads_.empty()) {
-    fn(0, n);
-    return;
-  }
-  const size_t num_chunks = threads_.size() * 4;
+  const size_t num_chunks = std::max<size_t>(1, num_workers() * 4);
   const size_t chunk = (n + num_chunks - 1) / num_chunks;
-  std::atomic<size_t> pending{0};
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  for (size_t begin = 0; begin < n; begin += chunk) {
-    const size_t end = std::min(begin + chunk, n);
-    pending.fetch_add(1);
-    Submit([&, begin, end] {
-      fn(begin, end);
-      if (pending.fetch_sub(1) == 1) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_one();
-      }
-    });
-  }
-  std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return pending.load() == 0; });
+  ParallelForChunked(n, chunk,
+                     [&fn](size_t /*worker*/, size_t /*chunk*/, size_t begin,
+                           size_t end) { fn(begin, end); });
 }
 
 }  // namespace ariadne

@@ -1,11 +1,16 @@
 #ifndef ARIADNE_COMMON_THREAD_POOL_H_
 #define ARIADNE_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
+#include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
-#include <queue>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace ariadne {
@@ -14,6 +19,12 @@ namespace ariadne {
 /// vertex compute within a superstep. With `num_threads == 0` (or 1) work
 /// executes inline on the caller thread, which keeps single-core runs and
 /// unit tests deterministic.
+///
+/// Dispatch is job-based: a parallel-for publishes one job descriptor and
+/// workers claim fixed-size chunks from an atomic cursor, so no per-chunk
+/// `std::function` (or any other heap object) is allocated. The caller
+/// participates as worker 0. One job runs at a time; nested parallel-for
+/// from inside a chunk callback is not supported.
 class ThreadPool {
  public:
   explicit ThreadPool(size_t num_threads);
@@ -22,21 +33,88 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  size_t num_threads() const { return threads_.size(); }
+  size_t num_threads() const { return threads_.size() + 1; }
 
-  /// Partitions [0, n) into chunks and runs `fn(begin, end)` per chunk,
-  /// blocking until all chunks finish. Exceptions in `fn` are not
-  /// supported (the library does not throw on hot paths).
+  /// Workers that can execute chunks concurrently: the pool threads plus
+  /// the calling thread. Always >= 1; equals 1 in inline mode.
+  size_t num_workers() const { return threads_.size() + 1; }
+
+  /// Partitions [0, n) into chunks of `chunk_size` and runs
+  /// `fn(worker, chunk, begin, end)` once per chunk, blocking until all
+  /// chunks finish. `worker` is in [0, num_workers()) and is stable for
+  /// the duration of one chunk (chunks claimed by the same thread share
+  /// it); `chunk == begin / chunk_size`. Chunk *boundaries* depend only on
+  /// `n` and `chunk_size`, never on the number of threads, which is what
+  /// lets the engine keep results bit-identical across thread counts.
+  /// Exceptions in `fn` are not supported (the library does not throw on
+  /// hot paths).
+  template <typename F>
+  void ParallelForChunked(size_t n, size_t chunk_size, F&& fn) {
+    RunJob(n, chunk_size, &InvokeChunkFn<std::remove_reference_t<F>>,
+           const_cast<void*>(static_cast<const void*>(&fn)));
+  }
+
+  /// Back-compat shape: splits [0, n) into ~4 chunks per worker and runs
+  /// `fn(begin, end)` per chunk. Prefer ParallelForChunked for hot paths
+  /// (fixed chunking, worker ids, no std::function).
   void ParallelFor(size_t n, const std::function<void(size_t, size_t)>& fn);
 
+  /// Maps chunks of [0, n) through `map(begin, end) -> T` in parallel and
+  /// folds the per-chunk results with `reduce(acc, partial)` *in chunk
+  /// order* on the calling thread, so the fold tree is deterministic for
+  /// any thread count. Returns `identity` when n == 0.
+  template <typename T, typename MapFn, typename ReduceFn>
+  T ParallelReduce(size_t n, size_t chunk_size, T identity, MapFn&& map,
+                   ReduceFn&& reduce) {
+    if (n == 0) return identity;
+    const size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+    // A raw array, not std::vector<T>: vector<bool> packs elements into
+    // shared words, which would both fail to bind references and race
+    // across chunks.
+    std::unique_ptr<T[]> partials(new T[num_chunks]);
+    for (size_t c = 0; c < num_chunks; ++c) partials[c] = identity;
+    ParallelForChunked(n, chunk_size,
+                       [&](size_t /*worker*/, size_t chunk, size_t begin,
+                           size_t end) { partials[chunk] = map(begin, end); });
+    T acc = std::move(identity);
+    for (size_t c = 0; c < num_chunks; ++c) {
+      acc = reduce(std::move(acc), std::move(partials[c]));
+    }
+    return acc;
+  }
+
  private:
-  void Submit(std::function<void()> task);
-  void WorkerLoop();
+  using ChunkFn = void (*)(void* ctx, size_t worker, size_t chunk,
+                           size_t begin, size_t end);
+
+  template <typename F>
+  static void InvokeChunkFn(void* ctx, size_t worker, size_t chunk,
+                            size_t begin, size_t end) {
+    (*static_cast<F*>(ctx))(worker, chunk, begin, end);
+  }
+
+  /// One published parallel-for; lives on the caller's stack for the
+  /// duration of RunJob.
+  struct Job {
+    ChunkFn fn = nullptr;
+    void* ctx = nullptr;
+    size_t n = 0;
+    size_t chunk_size = 0;
+    size_t num_chunks = 0;
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> workers_exited{0};
+  };
+
+  void RunJob(size_t n, size_t chunk_size, ChunkFn fn, void* ctx);
+  void WorkOn(Job& job, size_t worker);
+  void WorkerLoop(size_t worker);
 
   std::vector<std::thread> threads_;
-  std::queue<std::function<void()>> tasks_;
   std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable job_cv_;   ///< workers wait here for a new job
+  std::condition_variable done_cv_;  ///< the caller waits here for drain
+  Job* job_ = nullptr;
+  uint64_t job_generation_ = 0;
   bool stop_ = false;
 };
 

@@ -1,12 +1,15 @@
 #ifndef ARIADNE_ENGINE_ENGINE_H_
 #define ARIADNE_ENGINE_ENGINE_H_
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -22,6 +25,23 @@ namespace ariadne {
 /// with a global barrier, delivers messages between supersteps, and stops
 /// when every vertex has voted to halt and no messages are in flight (or
 /// at max_supersteps).
+///
+/// Each superstep runs in two parallel phases (owner-computes routing):
+///
+///   1. *Compute*: the active list is cut into fixed-size chunks; each
+///      chunk runs the vertex kernel and appends its sends into a
+///      per-chunk outbox partitioned into P = shard_multiplier * threads
+///      shards by target id (with sender-side combining when the program
+///      registers a MessageCombiner).
+///   2. *Merge*: each shard is merged into `next_inbox_` by exactly one
+///      task, walking the chunks in index order — no locks, no atomics on
+///      the message path.
+///
+/// Because chunk boundaries depend only on the active-set size (never on
+/// the thread count) and the merge walks chunks in order, every inbox
+/// receives its messages in the exact order a serial run would produce.
+/// Vertex values and captured provenance are therefore bit-identical for
+/// any `num_threads` (see DESIGN.md §2 and engine_parallel_test.cc).
 ///
 /// The engine is provenance-agnostic: capture and online query evaluation
 /// are ordinary `VertexProgram`s wrapping the analytic (src/provenance,
@@ -48,54 +68,50 @@ class Engine {
       return Status::InvalidArgument("max_supersteps must be >= 0");
     }
 
-    values_.clear();
-    values_.reserve(static_cast<size_t>(n));
+    PrepareBuffers(n);
     for (VertexId v = 0; v < n; ++v) {
       values_.push_back(program.InitialValue(v, *graph_));
     }
-    halted_.assign(static_cast<size_t>(n), 0);
-    inbox_.assign(static_cast<size_t>(n), {});
-    next_inbox_.assign(static_cast<size_t>(n), {});
     aggregators_.Reset();
     program.RegisterAggregators(aggregators_);
     const MessageCombiner<M>* combiner = program.combiner();
+
+    const size_t workers = pool_.num_workers();
+    num_shards_ = std::max<size_t>(1, options_.shard_multiplier * workers);
+    const size_t chunk_size = std::max<size_t>(1, options_.chunk_size);
+    const bool sharded = options_.routing == MessageRouting::kSharded;
 
     RunStats stats;
     WallTimer run_timer;
     for (Superstep step = 0; step < options_.max_supersteps; ++step) {
       WallTimer step_timer;
+      WallTimer phase_timer;
 
       // A vertex computes iff it has not voted to halt or received mail.
-      active_.clear();
-      for (VertexId v = 0; v < n; ++v) {
-        if (!halted_[static_cast<size_t>(v)] ||
-            !inbox_[static_cast<size_t>(v)].empty()) {
-          active_.push_back(v);
-        }
-      }
+      RebuildActiveList(n, chunk_size);
+      const double rebuild_seconds = phase_timer.ElapsedSeconds();
       if (active_.empty()) break;
 
-      int64_t messages_this_step = 0;
-      {
-        std::mutex merge_mu;
-        pool_.ParallelFor(active_.size(), [&](size_t begin, size_t end) {
-          Ctx ctx(this, step);
-          std::vector<std::pair<VertexId, M>> outbox;
-          for (size_t i = begin; i < end; ++i) {
-            const VertexId v = active_[i];
-            ctx.Reset(v, &outbox);
-            halted_[static_cast<size_t>(v)] = 0;
-            auto& mail = inbox_[static_cast<size_t>(v)];
-            program.Compute(ctx, std::span<const M>(mail.data(), mail.size()));
-            if (ctx.voted_halt()) halted_[static_cast<size_t>(v)] = 1;
-            mail.clear();
-          }
-          std::lock_guard<std::mutex> lock(merge_mu);
-          messages_this_step += static_cast<int64_t>(outbox.size());
-          for (auto& [target, msg] : outbox) {
-            DeliverLocked(target, std::move(msg), combiner);
-          }
-        });
+      StepCounters counters;
+      double compute_seconds = 0.0, merge_seconds = 0.0;
+      if (sharded) {
+        phase_timer.Restart();
+        const size_t num_chunks =
+            ComputePhaseSharded(program, combiner, step, chunk_size, workers);
+        compute_seconds = phase_timer.ElapsedSeconds();
+        phase_timer.Restart();
+        MergePhaseSharded(combiner, num_chunks);
+        merge_seconds = phase_timer.ElapsedSeconds();
+        for (size_t c = 0; c < num_chunks; ++c) {
+          counters.sent += chunk_sent_[c];
+          counters.dropped += chunk_dropped_[c];
+          counters.combined += chunk_combined_[c];
+        }
+        for (int64_t hits : shard_combined_) counters.combined += hits;
+      } else {
+        phase_timer.Restart();
+        ComputeAndMergeGlobalLock(program, combiner, step, &counters);
+        compute_seconds = phase_timer.ElapsedSeconds();
       }
 
       aggregators_.EndSuperstep();
@@ -105,12 +121,22 @@ class Engine {
       program.MasterCompute(master);
 
       stats.supersteps = step + 1;
-      stats.total_messages += messages_this_step;
+      stats.total_messages += counters.sent;
+      stats.dropped_messages += counters.dropped;
+      stats.combine_hits += counters.combined;
       stats.total_active += static_cast<int64_t>(active_.size());
+      stats.rebuild_seconds += rebuild_seconds;
+      stats.compute_seconds += compute_seconds;
+      stats.merge_seconds += merge_seconds;
       if (options_.collect_per_step_stats) {
         stats.steps.push_back(SuperstepStats{
-            step, static_cast<int64_t>(active_.size()), messages_this_step,
-            step_timer.ElapsedSeconds()});
+            .step = step,
+            .active_vertices = static_cast<int64_t>(active_.size()),
+            .messages_sent = counters.sent,
+            .seconds = step_timer.ElapsedSeconds(),
+            .rebuild_seconds = rebuild_seconds,
+            .compute_seconds = compute_seconds,
+            .merge_seconds = merge_seconds});
       }
 
       std::swap(inbox_, next_inbox_);
@@ -119,6 +145,12 @@ class Engine {
     stats.halted_by_cap = stats.supersteps == options_.max_supersteps &&
                           HasPendingWork();
     stats.seconds = run_timer.ElapsedSeconds();
+    if (stats.dropped_messages > 0) {
+      ARIADNE_LOG(Warning) << "engine: dropped " << stats.dropped_messages
+                           << " message(s) addressed to out-of-range vertex "
+                              "ids (valid range [0, "
+                           << n << ")) during this run";
+    }
     return stats;
   }
 
@@ -127,17 +159,59 @@ class Engine {
   const Graph& graph() const { return *graph_; }
 
  private:
+  using Send = std::pair<VertexId, M>;
+
+  /// Message counters of one superstep (summed from race-free per-chunk /
+  /// per-shard slots).
+  struct StepCounters {
+    int64_t sent = 0;
+    int64_t dropped = 0;
+    int64_t combined = 0;
+  };
+
+  /// One compute chunk's outbox, partitioned by target shard. Kept across
+  /// supersteps so the inner vectors retain their capacity.
+  struct ShardedOutbox {
+    std::vector<std::vector<Send>> shards;
+  };
+
+  /// Per-worker scratch for sender-side combining: maps a target id to
+  /// its slot in the current chunk's outbox. `epoch` tags entries with the
+  /// chunk that wrote them, so the arrays never need clearing.
+  struct CombineScratch {
+    std::vector<uint64_t> epoch;
+    std::vector<uint32_t> pos;
+    uint64_t current = 0;
+  };
+
   /// Concrete context handed to Compute; reset per vertex within a chunk.
+  /// Routes SendMessage into either the chunk's sharded outbox (owner-
+  /// computes mode) or a flat per-task outbox (global-lock mode).
   class Ctx final : public VertexContext<V, M> {
    public:
     Ctx(Engine* engine, Superstep step) : engine_(engine), step_(step) {}
 
-    void Reset(VertexId v, std::vector<std::pair<VertexId, M>>* outbox) {
+    void BeginChunk(std::vector<std::vector<Send>>* shards,
+                    std::vector<Send>* flat,
+                    const MessageCombiner<M>* sender_combiner,
+                    CombineScratch* scratch,
+                    std::vector<std::pair<std::string, double>>* agg_sink) {
+      shards_ = shards;
+      flat_ = flat;
+      sender_combiner_ = sender_combiner;
+      scratch_ = scratch;
+      agg_sink_ = agg_sink;
+      sent_ = dropped_ = combined_ = 0;
+    }
+
+    void Reset(VertexId v) {
       vertex_ = v;
-      outbox_ = outbox;
       voted_halt_ = false;
     }
     bool voted_halt() const { return voted_halt_; }
+    int64_t sent() const { return sent_; }
+    int64_t dropped() const { return dropped_; }
+    int64_t combined() const { return combined_; }
 
     VertexId id() const override { return vertex_; }
     Superstep superstep() const override { return step_; }
@@ -149,11 +223,41 @@ class Engine {
       engine_->values_[static_cast<size_t>(vertex_)] = std::move(value);
     }
     void SendMessage(VertexId target, M message) override {
-      outbox_->emplace_back(target, std::move(message));
+      ++sent_;
+      if (target < 0 || target >= engine_->graph_->num_vertices()) {
+        // Giraph semantics for messages to non-existent vertex ids: the
+        // message is dropped, but visibly (RunStats::dropped_messages).
+        ++dropped_;
+        return;
+      }
+      if (flat_ != nullptr) {
+        flat_->emplace_back(target, std::move(message));
+        return;
+      }
+      auto& box = (*shards_)[engine_->ShardOf(target)];
+      if (scratch_ != nullptr) {
+        const size_t t = static_cast<size_t>(target);
+        if (scratch_->epoch[t] == scratch_->current) {
+          Send& slot = box[scratch_->pos[t]];
+          slot.second = sender_combiner_->Combine(slot.second, message);
+          ++combined_;
+          return;
+        }
+        scratch_->epoch[t] = scratch_->current;
+        scratch_->pos[t] = static_cast<uint32_t>(box.size());
+      }
+      box.emplace_back(target, std::move(message));
     }
     void VoteToHalt() override { voted_halt_ = true; }
     void AggregateDouble(const std::string& name, double v) override {
-      engine_->aggregators_.Accumulate(name, v);
+      // In sharded mode accumulations are buffered per chunk and folded in
+      // chunk order at the barrier: no registry mutex on the hot path, and
+      // floating-point aggregate sums stay identical for any thread count.
+      if (agg_sink_ != nullptr) {
+        agg_sink_->emplace_back(name, v);
+      } else {
+        engine_->aggregators_.Accumulate(name, v);
+      }
     }
     double GetAggregate(const std::string& name) const override {
       return engine_->aggregators_.Get(name);
@@ -163,41 +267,225 @@ class Engine {
     Engine* engine_;
     Superstep step_;
     VertexId vertex_ = 0;
-    std::vector<std::pair<VertexId, M>>* outbox_ = nullptr;
+    std::vector<std::vector<Send>>* shards_ = nullptr;
+    std::vector<Send>* flat_ = nullptr;
+    const MessageCombiner<M>* sender_combiner_ = nullptr;
+    CombineScratch* scratch_ = nullptr;
+    std::vector<std::pair<std::string, double>>* agg_sink_ = nullptr;
     bool voted_halt_ = false;
+    int64_t sent_ = 0;
+    int64_t dropped_ = 0;
+    int64_t combined_ = 0;
   };
 
-  void DeliverLocked(VertexId target, M msg,
-                     const MessageCombiner<M>* combiner) {
-    // Out-of-range targets are dropped, mirroring Giraph's behaviour for
-    // messages to non-existent vertex ids.
-    if (target < 0 || target >= graph_->num_vertices()) return;
-    auto& box = next_inbox_[static_cast<size_t>(target)];
-    if (combiner != nullptr && !box.empty()) {
-      box[0] = combiner->Combine(box[0], msg);
+  size_t ShardOf(VertexId target) const {
+    return static_cast<size_t>(static_cast<uint64_t>(target) * num_shards_ /
+                               static_cast<uint64_t>(graph_->num_vertices()));
+  }
+
+  /// Resets run state, reusing inbox/outbox buffers (and their inner
+  /// capacities) from previous runs instead of reallocating.
+  void PrepareBuffers(VertexId n) {
+    const size_t un = static_cast<size_t>(n);
+    values_.clear();
+    values_.reserve(un);
+    halted_.assign(un, 0);
+    if (inbox_.size() != un) {
+      inbox_.assign(un, {});
+      next_inbox_.assign(un, {});
     } else {
-      box.push_back(std::move(msg));
+      for (auto& box : inbox_) box.clear();
+      for (auto& box : next_inbox_) box.clear();
     }
   }
 
-  bool HasPendingWork() const {
-    for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
-      if (!halted_[static_cast<size_t>(v)] ||
-          !inbox_[static_cast<size_t>(v)].empty()) {
-        return true;
+  /// Rebuilds `active_` (ascending vertex order) with a two-pass parallel
+  /// count + fill; replaces the serial O(n) scan per superstep.
+  void RebuildActiveList(VertexId n, size_t chunk_size) {
+    const size_t un = static_cast<size_t>(n);
+    const size_t chunk = std::max<size_t>(chunk_size, 2048);
+    const size_t num_chunks = (un + chunk - 1) / chunk;
+    rebuild_offsets_.assign(num_chunks, 0);
+    pool_.ParallelForChunked(
+        un, chunk, [&](size_t, size_t c, size_t begin, size_t end) {
+          size_t count = 0;
+          for (size_t v = begin; v < end; ++v) {
+            if (!halted_[v] || !inbox_[v].empty()) ++count;
+          }
+          rebuild_offsets_[c] = count;
+        });
+    size_t total = 0;
+    for (size_t& offset : rebuild_offsets_) {
+      const size_t count = offset;
+      offset = total;
+      total += count;
+    }
+    active_.resize(total);
+    pool_.ParallelForChunked(
+        un, chunk, [&](size_t, size_t c, size_t begin, size_t end) {
+          size_t out = rebuild_offsets_[c];
+          for (size_t v = begin; v < end; ++v) {
+            if (!halted_[v] || !inbox_[v].empty()) {
+              active_[out++] = static_cast<VertexId>(v);
+            }
+          }
+        });
+  }
+
+  /// Phase 1 of a sharded superstep: run the kernel chunk by chunk,
+  /// filling per-chunk sharded outboxes. Returns the number of chunks.
+  size_t ComputePhaseSharded(VertexProgram<V, M>& program,
+                             const MessageCombiner<M>* combiner,
+                             Superstep step, size_t chunk_size,
+                             size_t workers) {
+    const size_t num_chunks = (active_.size() + chunk_size - 1) / chunk_size;
+    if (outboxes_.size() < num_chunks) outboxes_.resize(num_chunks);
+    if (agg_buffers_.size() < num_chunks) agg_buffers_.resize(num_chunks);
+    chunk_sent_.assign(num_chunks, 0);
+    chunk_dropped_.assign(num_chunks, 0);
+    chunk_combined_.assign(num_chunks, 0);
+    const bool sender_combine =
+        combiner != nullptr && options_.sender_side_combining;
+    if (sender_combine && scratch_.size() != workers) {
+      scratch_.assign(workers, CombineScratch{});
+    }
+    pool_.ParallelForChunked(
+        active_.size(), chunk_size,
+        [&](size_t worker, size_t c, size_t begin, size_t end) {
+          ShardedOutbox& out = outboxes_[c];
+          if (out.shards.size() != num_shards_) {
+            out.shards.clear();
+            out.shards.resize(num_shards_);
+          } else {
+            for (auto& shard : out.shards) shard.clear();
+          }
+          CombineScratch* scratch = nullptr;
+          if (sender_combine) {
+            scratch = &scratch_[worker];
+            if (scratch->epoch.size() !=
+                static_cast<size_t>(graph_->num_vertices())) {
+              scratch->epoch.assign(
+                  static_cast<size_t>(graph_->num_vertices()), 0);
+              scratch->pos.resize(
+                  static_cast<size_t>(graph_->num_vertices()));
+              scratch->current = 0;
+            }
+            ++scratch->current;
+          }
+          Ctx ctx(this, step);
+          agg_buffers_[c].clear();
+          ctx.BeginChunk(&out.shards, nullptr,
+                         sender_combine ? combiner : nullptr, scratch,
+                         &agg_buffers_[c]);
+          RunChunk(program, ctx, begin, end);
+          chunk_sent_[c] = ctx.sent();
+          chunk_dropped_[c] = ctx.dropped();
+          chunk_combined_[c] = ctx.combined();
+        });
+    // Fold buffered aggregate accumulations in chunk order (deterministic
+    // for any thread count; see Ctx::AggregateDouble).
+    for (size_t c = 0; c < num_chunks; ++c) {
+      for (const auto& [name, v] : agg_buffers_[c]) {
+        aggregators_.Accumulate(name, v);
       }
     }
-    return false;
+    return num_chunks;
+  }
+
+  /// Phase 2 of a sharded superstep: every shard is drained into
+  /// `next_inbox_` by exactly one task, walking chunks in index order.
+  /// Shards partition the target space, so no synchronization is needed,
+  /// and the chunk-order walk reproduces serial delivery order exactly.
+  void MergePhaseSharded(const MessageCombiner<M>* combiner,
+                         size_t num_chunks) {
+    shard_combined_.assign(num_shards_, 0);
+    pool_.ParallelForChunked(
+        num_shards_, 1, [&](size_t, size_t s, size_t, size_t) {
+          int64_t combined = 0;
+          for (size_t c = 0; c < num_chunks; ++c) {
+            for (Send& send : outboxes_[c].shards[s]) {
+              auto& box = next_inbox_[static_cast<size_t>(send.first)];
+              if (combiner != nullptr && !box.empty()) {
+                box[0] = combiner->Combine(box[0], send.second);
+                ++combined;
+              } else {
+                box.push_back(std::move(send.second));
+              }
+            }
+          }
+          shard_combined_[s] = combined;
+        });
+  }
+
+  /// Legacy routing (MessageRouting::kGlobalLock): every task funnels its
+  /// whole outbox through one mutex. Kept as the baseline the sharded path
+  /// is benchmarked against (bench_engine_micro --json).
+  void ComputeAndMergeGlobalLock(VertexProgram<V, M>& program,
+                                 const MessageCombiner<M>* combiner,
+                                 Superstep step, StepCounters* counters) {
+    std::mutex merge_mu;
+    pool_.ParallelFor(active_.size(), [&](size_t begin, size_t end) {
+      Ctx ctx(this, step);
+      std::vector<Send> outbox;
+      ctx.BeginChunk(nullptr, &outbox, nullptr, nullptr, nullptr);
+      RunChunk(program, ctx, begin, end);
+      std::lock_guard<std::mutex> lock(merge_mu);
+      counters->sent += ctx.sent();
+      counters->dropped += ctx.dropped();
+      for (Send& send : outbox) {
+        auto& box = next_inbox_[static_cast<size_t>(send.first)];
+        if (combiner != nullptr && !box.empty()) {
+          box[0] = combiner->Combine(box[0], send.second);
+          ++counters->combined;
+        } else {
+          box.push_back(std::move(send.second));
+        }
+      }
+    });
+  }
+
+  /// Runs the kernel for active-list positions [begin, end).
+  void RunChunk(VertexProgram<V, M>& program, Ctx& ctx, size_t begin,
+                size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const VertexId v = active_[i];
+      ctx.Reset(v);
+      halted_[static_cast<size_t>(v)] = 0;
+      auto& mail = inbox_[static_cast<size_t>(v)];
+      program.Compute(ctx, std::span<const M>(mail.data(), mail.size()));
+      if (ctx.voted_halt()) halted_[static_cast<size_t>(v)] = 1;
+      mail.clear();
+    }
+  }
+
+  bool HasPendingWork() {
+    const size_t un = static_cast<size_t>(graph_->num_vertices());
+    return pool_.ParallelReduce(
+        un, size_t{4096}, false,
+        [&](size_t begin, size_t end) {
+          for (size_t v = begin; v < end; ++v) {
+            if (!halted_[v] || !inbox_[v].empty()) return true;
+          }
+          return false;
+        },
+        [](bool a, bool b) { return a || b; });
   }
 
   const Graph* graph_;
   EngineOptions options_;
   ThreadPool pool_;
+  size_t num_shards_ = 1;
   std::vector<V> values_;
   std::vector<uint8_t> halted_;
   std::vector<std::vector<M>> inbox_;
   std::vector<std::vector<M>> next_inbox_;
   std::vector<VertexId> active_;
+  std::vector<size_t> rebuild_offsets_;
+  std::vector<ShardedOutbox> outboxes_;
+  std::vector<int64_t> chunk_sent_, chunk_dropped_, chunk_combined_;
+  std::vector<int64_t> shard_combined_;
+  std::vector<CombineScratch> scratch_;
+  std::vector<std::vector<std::pair<std::string, double>>> agg_buffers_;
   AggregatorRegistry aggregators_;
 };
 

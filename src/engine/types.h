@@ -12,6 +12,18 @@ namespace ariadne {
 /// BSP superstep index, 0-based.
 using Superstep = int32_t;
 
+/// How messages travel from a sender's Compute to the target's inbox.
+enum class MessageRouting {
+  /// Two-phase owner-computes routing (DESIGN.md §2): workers fill
+  /// per-chunk, per-shard outboxes, then each shard's owner merges it into
+  /// the inboxes without any locking. Deterministic for any thread count.
+  kSharded,
+  /// The pre-sharding path: every worker merges its whole outbox under one
+  /// global mutex. Kept as the bench baseline and as a reference
+  /// implementation; O(threads) contention on the merge lock.
+  kGlobalLock,
+};
+
 /// Engine configuration (Giraph-job-conf equivalent).
 struct EngineOptions {
   /// Worker threads for vertex compute; <= 1 runs inline (deterministic).
@@ -21,6 +33,22 @@ struct EngineOptions {
   Superstep max_supersteps = 1000000;
   /// Record per-superstep statistics in RunStats::steps.
   bool collect_per_step_stats = true;
+  /// Message routing strategy; kSharded is the default and the fast path.
+  MessageRouting routing = MessageRouting::kSharded;
+  /// Shards per worker for owner-computes routing (P = shard_multiplier *
+  /// num_threads). More shards smooth the merge-phase load balance at the
+  /// cost of smaller per-shard outboxes.
+  size_t shard_multiplier = 4;
+  /// Vertices per compute chunk. Chunk boundaries are a pure function of
+  /// the active-set size and this knob — never of num_threads — which is
+  /// what keeps message delivery order (and therefore captured provenance)
+  /// bit-identical across thread counts.
+  size_t chunk_size = 1024;
+  /// Combine messages in the sender's per-chunk outbox when the program
+  /// registers a MessageCombiner (Quegel-style sender-side combining).
+  /// Cuts outbox memory traffic for high-fan-in targets; the owner merge
+  /// still combines across chunks.
+  bool sender_side_combining = true;
 };
 
 /// Statistics for one superstep.
@@ -29,6 +57,12 @@ struct SuperstepStats {
   int64_t active_vertices = 0;
   int64_t messages_sent = 0;
   double seconds = 0.0;
+  /// Phase breakdown: active-list rebuild, parallel compute (phase 1),
+  /// owner merge (phase 2). compute + merge <= seconds; the remainder is
+  /// aggregator/master work.
+  double rebuild_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double merge_seconds = 0.0;
 };
 
 /// Statistics for a whole run; the provenance overhead experiments report
@@ -39,6 +73,18 @@ struct RunStats {
   int64_t total_active = 0;  ///< sum of active vertices over supersteps
   double seconds = 0.0;
   bool halted_by_cap = false;  ///< stopped by max_supersteps, not quiescence
+  /// Messages addressed to vertex ids outside [0, num_vertices), dropped
+  /// at send time (Giraph semantics for non-existent targets). Counted in
+  /// total_messages; logged once per run when non-zero.
+  int64_t dropped_messages = 0;
+  /// Times a MessageCombiner folded two messages into one (sender-side
+  /// hits + owner-merge hits).
+  int64_t combine_hits = 0;
+  /// Whole-run phase totals (sums of the SuperstepStats fields, collected
+  /// even when collect_per_step_stats is off).
+  double rebuild_seconds = 0.0;
+  double compute_seconds = 0.0;
+  double merge_seconds = 0.0;
   std::vector<SuperstepStats> steps;
 };
 

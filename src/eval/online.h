@@ -108,6 +108,12 @@ class OnlineProgram final
       Layer sealed = std::move(current_layer_);
       sealed.step = master.superstep;
       current_layer_ = Layer{};
+      // Slices arrive in worker-scheduling order under multi-threaded
+      // capture; canonicalize so the sealed layer (and everything
+      // serialized from it) is identical for any engine thread count. The
+      // slices themselves are already deterministic because the engine
+      // guarantees serial-order message delivery (DESIGN.md §2).
+      sealed.Canonicalize();
       Status s = options_.store->AppendLayer(std::move(sealed));
       if (!s.ok() && first_error_.ok()) first_error_ = s;
     }

@@ -16,6 +16,14 @@ void Layer::Add(int rel, VertexId vertex, std::vector<Tuple> tuples) {
   slices.push_back(std::move(slice));
 }
 
+void Layer::Canonicalize() {
+  std::stable_sort(slices.begin(), slices.end(),
+                   [](const LayerSlice& a, const LayerSlice& b) {
+                     if (a.rel != b.rel) return a.rel < b.rel;
+                     return a.vertex < b.vertex;
+                   });
+}
+
 int ProvenanceStore::AddRelation(const std::string& name, int arity) {
   const int existing = RelId(name);
   if (existing >= 0) return existing;

@@ -36,6 +36,12 @@ struct Layer {
   size_t byte_size = 0;
 
   void Add(int rel, VertexId vertex, std::vector<Tuple> tuples);
+
+  /// Sorts slices into (rel, vertex) order. Capture wrappers call this
+  /// before sealing a layer: multi-threaded capture appends slices in
+  /// scheduling order, and canonicalizing makes the stored provenance —
+  /// and its serialized bytes — identical for any engine thread count.
+  void Canonicalize();
 };
 
 /// The captured provenance graph. Layers are appended in superstep order

@@ -1,0 +1,179 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+namespace ariadne {
+namespace {
+
+// ------------------------------------------------ chunk coverage property
+
+/// Every index in [0, n) must be visited exactly once, for pools of any
+/// size and chunk sizes that divide n unevenly.
+TEST(ThreadPoolTest, ChunkedForCoversEveryIndexExactlyOnce) {
+  for (size_t num_threads : {size_t{0}, size_t{1}, size_t{3}, size_t{8}}) {
+    for (size_t n : {size_t{1}, size_t{7}, size_t{64}, size_t{1000}}) {
+      for (size_t chunk : {size_t{1}, size_t{3}, size_t{256}, size_t{5000}}) {
+        ThreadPool pool(num_threads);
+        std::vector<std::atomic<int>> visits(n);
+        for (auto& v : visits) v.store(0);
+        pool.ParallelForChunked(n, chunk,
+                                [&](size_t, size_t, size_t begin, size_t end) {
+                                  for (size_t i = begin; i < end; ++i) {
+                                    visits[i].fetch_add(1);
+                                  }
+                                });
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(visits[i].load(), 1)
+              << "index " << i << " with threads=" << num_threads
+              << " n=" << n << " chunk=" << chunk;
+        }
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ChunkIndexMatchesBeginAndBoundariesIgnoreThreads) {
+  // Chunk boundaries must be begin = chunk * chunk_size regardless of the
+  // pool size (the engine's determinism depends on this).
+  for (size_t num_threads : {size_t{1}, size_t{4}}) {
+    ThreadPool pool(num_threads);
+    const size_t n = 103, chunk_size = 10;
+    std::mutex mu;
+    std::set<std::tuple<size_t, size_t, size_t>> seen;
+    pool.ParallelForChunked(n, chunk_size,
+                            [&](size_t, size_t chunk, size_t begin,
+                                size_t end) {
+                              std::lock_guard<std::mutex> lock(mu);
+                              seen.insert({chunk, begin, end});
+                            });
+    ASSERT_EQ(seen.size(), 11u);
+    for (const auto& [chunk, begin, end] : seen) {
+      EXPECT_EQ(begin, chunk * chunk_size);
+      EXPECT_EQ(end, std::min(begin + chunk_size, n));
+    }
+  }
+}
+
+// ----------------------------------------------------------- edge cases
+
+TEST(ThreadPoolTest, ZeroNRunsNothing) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelForChunked(0, 16, [&](size_t, size_t, size_t, size_t) {
+    calls.fetch_add(1);
+  });
+  pool.ParallelFor(0, [&](size_t, size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, FewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> visits(3);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelForChunked(3, 1, [&](size_t worker, size_t, size_t begin,
+                                    size_t end) {
+    EXPECT_LT(worker, pool.num_workers());
+    for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, InlineExecutionWhenSingleThreaded) {
+  // num_threads <= 1 must run on the caller thread (deterministic mode).
+  for (size_t num_threads : {size_t{0}, size_t{1}}) {
+    ThreadPool pool(num_threads);
+    EXPECT_EQ(pool.num_workers(), 1u);
+    const auto caller = std::this_thread::get_id();
+    bool all_inline = true;
+    pool.ParallelForChunked(100, 7, [&](size_t worker, size_t, size_t,
+                                        size_t) {
+      if (std::this_thread::get_id() != caller || worker != 0) {
+        all_inline = false;
+      }
+    });
+    EXPECT_TRUE(all_inline);
+  }
+}
+
+TEST(ThreadPoolTest, WorkerIdsWithinRange) {
+  ThreadPool pool(5);
+  EXPECT_EQ(pool.num_workers(), 5u);
+  std::atomic<bool> ok{true};
+  pool.ParallelForChunked(1000, 1, [&](size_t worker, size_t, size_t, size_t) {
+    if (worker >= pool.num_workers()) ok.store(false);
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+// -------------------------------------------------------- ParallelReduce
+
+TEST(ThreadPoolTest, ParallelReduceSumsLikeSerial) {
+  ThreadPool pool(4);
+  const size_t n = 12345;
+  const int64_t total = pool.ParallelReduce(
+      n, size_t{100}, int64_t{0},
+      [](size_t begin, size_t end) {
+        int64_t s = 0;
+        for (size_t i = begin; i < end; ++i) s += static_cast<int64_t>(i);
+        return s;
+      },
+      [](int64_t a, int64_t b) { return a + b; });
+  EXPECT_EQ(total, static_cast<int64_t>(n) * (static_cast<int64_t>(n) - 1) / 2);
+}
+
+TEST(ThreadPoolTest, ParallelReduceBoolOrAndEmptyIdentity) {
+  ThreadPool pool(3);
+  auto any_eq = [&](size_t n, size_t needle) {
+    return pool.ParallelReduce(
+        n, size_t{8}, false,
+        [&](size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            if (i == needle) return true;
+          }
+          return false;
+        },
+        [](bool a, bool b) { return a || b; });
+  };
+  EXPECT_TRUE(any_eq(100, 57));
+  EXPECT_FALSE(any_eq(100, 1000));
+  EXPECT_FALSE(any_eq(0, 0));  // n == 0 returns the identity
+}
+
+// ----------------------------------------------------- legacy ParallelFor
+
+TEST(ThreadPoolTest, LegacyParallelForStillCovers) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> visits(500);
+  for (auto& v : visits) v.store(0);
+  pool.ParallelFor(500, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) visits[i].fetch_add(1);
+  });
+  for (auto& v : visits) EXPECT_EQ(v.load(), 1);
+}
+
+/// Back-to-back jobs must not interfere (the pool reuses one job slot).
+TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int64_t> sum{0};
+    pool.ParallelForChunked(64, 4, [&](size_t, size_t, size_t begin,
+                                       size_t end) {
+      int64_t local = 0;
+      for (size_t i = begin; i < end; ++i) local += static_cast<int64_t>(i);
+      sum.fetch_add(local);
+    });
+    ASSERT_EQ(sum.load(), 64 * 63 / 2);
+  }
+}
+
+}  // namespace
+}  // namespace ariadne
