@@ -53,6 +53,9 @@ class BinaryReader {
 
   bool AtEnd() const { return pos_ == buf_.size(); }
   size_t remaining() const { return buf_.size() - pos_; }
+  /// Current byte offset — used by storage error messages to point at
+  /// the corrupt position of a spill or store file.
+  size_t pos() const { return pos_; }
 
  private:
   Status ReadRaw(void* p, size_t n);

@@ -133,6 +133,9 @@ class Session {
         engine(graph_, options_.engine);
     ARIADNE_ASSIGN_OR_RETURN(RunStats stats, engine.Run(program));
     ARIADNE_RETURN_NOT_OK(program.status());
+    // Quiesce the write-behind flusher: spill files are durable and
+    // spill counters are meaningful as soon as Capture returns.
+    ARIADNE_RETURN_NOT_OK(store->Flush());
     if (final_values != nullptr) {
       final_values->assign(engine.values().begin(), engine.values().end());
     }

@@ -34,6 +34,19 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
     // independent of whether the query itself reads them.
     send_rel_ = store_->RelId("send-message");
     receive_rel_ = store_->RelId("receive-message");
+    // Relations this query actually touches (query predicates + the
+    // message edges used for routing). Layer reads are restricted to
+    // them, so e.g. a query over send-message never decompresses
+    // vertex-value pages.
+    for (size_t r = 0; r < rel_to_pred_.size(); ++r) {
+      if (rel_to_pred_[r] >= 0 || static_cast<int>(r) == send_rel_ ||
+          static_cast<int>(r) == receive_rel_) {
+        needed_rels_.push_back(static_cast<int>(r));
+      }
+    }
+    if (needed_rels_.size() == rel_to_pred_.size()) {
+      needed_rels_.clear();  // all relations: no point filtering
+    }
   }
 
   Status Prepare() {
@@ -149,7 +162,17 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
     const int layer_step = descending_
                                ? n - 1 - static_cast<int>(processing_step)
                                : static_cast<int>(processing_step);
-    ARIADNE_ASSIGN_OR_RETURN(const Layer* layer, store_->GetLayer(layer_step));
+    ARIADNE_ASSIGN_OR_RETURN(current_layer_,
+                             store_->GetLayerRelations(layer_step,
+                                                       needed_rels_));
+    // Direction-aware prefetch: warm the pages of the layer the *next*
+    // superstep will read (ascending forward, descending backward) while
+    // this one computes.
+    const int next_step = descending_ ? layer_step - 1 : layer_step + 1;
+    if (next_step >= 0 && next_step < n) {
+      store_->PrefetchLayer(next_step, needed_rels_);
+    }
+    const Layer* layer = current_layer_.get();
     layer_index_.clear();
     route_out_.clear();
     route_in_.clear();
@@ -215,6 +238,10 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
 
   std::vector<int> rel_to_pred_;
   int send_rel_ = -1, receive_rel_ = -1;
+  /// Store relations the query reads (empty = all).
+  std::vector<int> needed_rels_;
+  /// Keeps the slices behind layer_index_ alive across store evictions.
+  std::shared_ptr<const Layer> current_layer_;
 
   std::vector<NodeQueryState> states_;
   std::unordered_map<VertexId, std::vector<const LayerSlice*>> static_index_;

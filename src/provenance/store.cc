@@ -1,28 +1,23 @@
 #include "provenance/store.h"
 
-#include <algorithm>
+#include <cstring>
+#include <utility>
 
 #include "common/serialize.h"
+#include "storage/page.h"
 
 namespace ariadne {
 
-void Layer::Add(int rel, VertexId vertex, std::vector<Tuple> tuples) {
-  if (tuples.empty()) return;
-  LayerSlice slice;
-  slice.rel = rel;
-  slice.vertex = vertex;
-  slice.tuples = std::move(tuples);
-  for (const Tuple& t : slice.tuples) byte_size += TupleByteSize(t);
-  slices.push_back(std::move(slice));
-}
+namespace {
 
-void Layer::Canonicalize() {
-  std::stable_sort(slices.begin(), slices.end(),
-                   [](const LayerSlice& a, const LayerSlice& b) {
-                     if (a.rel != b.rel) return a.rel < b.rel;
-                     return a.vertex < b.vertex;
-                   });
-}
+constexpr uint32_t kStoreMagicV1 = 0x41505631;  ///< legacy row-major image
+constexpr uint32_t kStoreMagicV2 = 0x41505632;  ///< page-compressed image
+
+/// Bytes before the checksummed body of an APV2 image:
+/// [u32 magic][u32 flags][u64 fnv1a(body)].
+constexpr size_t kV2HeaderBytes = 4 + 4 + 8;
+
+}  // namespace
 
 int ProvenanceStore::AddRelation(const std::string& name, int arity) {
   const int existing = RelId(name);
@@ -47,56 +42,44 @@ StoreSchema ProvenanceStore::ToStoreSchema() const {
 }
 
 Status ProvenanceStore::EnableSpill(std::string dir, size_t budget_bytes) {
-  if (dir.empty()) return Status::InvalidArgument("empty spill directory");
-  spill_dir_ = std::move(dir);
-  spill_budget_ = budget_bytes;
-  spill_enabled_ = true;
-  return ApplySpillPolicy();
+  storage::LayerStoreOptions options;
+  options.dir = std::move(dir);
+  options.mem_budget_bytes = budget_bytes;
+  return ConfigureStorage(std::move(options));
+}
+
+Status ProvenanceStore::ConfigureStorage(storage::LayerStoreOptions options) {
+  return layers_->Configure(std::move(options));
 }
 
 Status ProvenanceStore::AppendLayer(Layer layer) {
-  if (layer.step != static_cast<Superstep>(layers_.size())) {
-    return Status::InvalidArgument(
-        "layers must be appended in superstep order (got " +
-        std::to_string(layer.step) + ", expected " +
-        std::to_string(layers_.size()) + ")");
-  }
-  LayerEntry entry;
-  entry.byte_size = layer.byte_size;
-  entry.step = layer.step;
-  entry.resident = std::move(layer);
-  layers_.push_back(std::move(entry));
-  return ApplySpillPolicy();
+  return layers_->Append(std::make_shared<Layer>(std::move(layer)));
 }
 
+Status ProvenanceStore::Flush() { return layers_->Drain(); }
+
 Result<const Layer*> ProvenanceStore::GetLayer(int step) {
-  if (step < 0 || step >= num_layers()) {
-    return Status::OutOfRange("layer " + std::to_string(step) +
-                              " out of range");
-  }
-  LayerEntry& entry = layers_[static_cast<size_t>(step)];
-  if (!entry.resident.has_value()) {
-    ARIADNE_ASSIGN_OR_RETURN(Layer layer, LoadLayer(entry));
-    entry.resident = std::move(layer);
-    // Layered evaluation touches one layer at a time: evict other
-    // reloaded layers to honor the budget (never the one just loaded).
-    ARIADNE_RETURN_NOT_OK(ApplySpillPolicy(step));
-  }
-  return &*entry.resident;
+  auto layer = layers_->Read(step);
+  if (!layer.ok()) return layer.status();
+  loaded_ = std::move(layer).value();
+  return loaded_.get();
+}
+
+Result<std::shared_ptr<const Layer>> ProvenanceStore::GetLayerRelations(
+    int step, const std::vector<int>& rels) {
+  return layers_->ReadRelations(step, rels);
+}
+
+void ProvenanceStore::PrefetchLayer(int step, const std::vector<int>& rels) {
+  layers_->Prefetch(step, rels);
 }
 
 size_t ProvenanceStore::TotalBytes() const {
-  size_t bytes = static_layer_.byte_size;
-  for (const auto& entry : layers_) bytes += entry.byte_size;
-  return bytes;
+  return static_layer_.byte_size + layers_->TotalBytes();
 }
 
 size_t ProvenanceStore::InMemoryBytes() const {
-  size_t bytes = static_layer_.byte_size;
-  for (const auto& entry : layers_) {
-    if (entry.resident.has_value()) bytes += entry.byte_size;
-  }
-  return bytes;
+  return static_layer_.byte_size + layers_->InMemoryBytes();
 }
 
 int64_t ProvenanceStore::TotalTuples() const {
@@ -104,141 +87,199 @@ int64_t ProvenanceStore::TotalTuples() const {
   for (const auto& slice : static_layer_.slices) {
     n += static_cast<int64_t>(slice.tuples.size());
   }
-  for (const auto& entry : layers_) {
-    if (!entry.resident.has_value()) continue;
-    for (const auto& slice : entry.resident->slices) {
-      n += static_cast<int64_t>(slice.tuples.size());
-    }
-  }
-  return n;
-}
-
-int ProvenanceStore::SpilledLayerCount() const {
-  int n = 0;
-  for (const auto& entry : layers_) {
-    if (!entry.resident.has_value()) ++n;
-  }
-  return n;
-}
-
-Status ProvenanceStore::SpillLayer(LayerEntry& entry) {
-  if (!entry.resident.has_value()) return Status::OK();
-  if (entry.spill_path.empty()) {
-    BinaryWriter writer;
-    SerializeLayer(*entry.resident, writer);
-    entry.spill_path =
-        spill_dir_ + "/layer_" + std::to_string(entry.step) + ".bin";
-    ARIADNE_RETURN_NOT_OK(WriteFile(entry.spill_path, writer.data()));
-  }
-  entry.resident.reset();
-  return Status::OK();
-}
-
-Result<Layer> ProvenanceStore::LoadLayer(const LayerEntry& entry) const {
-  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFile(entry.spill_path));
-  BinaryReader reader(std::move(data));
-  return DeserializeLayer(reader);
-}
-
-Status ProvenanceStore::ApplySpillPolicy(int keep_step) {
-  if (!spill_enabled_) return Status::OK();
-  size_t resident = InMemoryBytes();
-  // Oldest-first spill until under budget; `keep_step` stays resident.
-  for (auto& entry : layers_) {
-    if (resident <= spill_budget_) break;
-    if (!entry.resident.has_value()) continue;
-    if (static_cast<int>(entry.step) == keep_step) continue;
-    resident -= entry.byte_size;
-    ARIADNE_RETURN_NOT_OK(SpillLayer(entry));
-  }
-  return Status::OK();
-}
-
-void SerializeLayer(const Layer& layer, BinaryWriter& writer) {
-  writer.WriteI64(layer.step);
-  writer.WriteU64(layer.slices.size());
-  for (const auto& slice : layer.slices) {
-    writer.WriteU32(static_cast<uint32_t>(slice.rel));
-    writer.WriteI64(slice.vertex);
-    writer.WriteU64(slice.tuples.size());
-    for (const Tuple& t : slice.tuples) {
-      writer.WriteU32(static_cast<uint32_t>(t.size()));
-      for (const Value& v : t) writer.WriteValue(v);
-    }
-  }
-}
-
-Result<Layer> DeserializeLayer(BinaryReader& reader) {
-  Layer layer;
-  ARIADNE_ASSIGN_OR_RETURN(int64_t step, reader.ReadI64());
-  layer.step = static_cast<Superstep>(step);
-  ARIADNE_ASSIGN_OR_RETURN(uint64_t n_slices, reader.ReadU64());
-  for (uint64_t s = 0; s < n_slices; ++s) {
-    ARIADNE_ASSIGN_OR_RETURN(uint32_t rel, reader.ReadU32());
-    ARIADNE_ASSIGN_OR_RETURN(int64_t vertex, reader.ReadI64());
-    ARIADNE_ASSIGN_OR_RETURN(uint64_t n_tuples, reader.ReadU64());
-    std::vector<Tuple> tuples;
-    tuples.reserve(n_tuples);
-    for (uint64_t i = 0; i < n_tuples; ++i) {
-      ARIADNE_ASSIGN_OR_RETURN(uint32_t arity, reader.ReadU32());
-      Tuple t;
-      t.reserve(arity);
-      for (uint32_t a = 0; a < arity; ++a) {
-        ARIADNE_ASSIGN_OR_RETURN(Value v, reader.ReadValue());
-        t.push_back(std::move(v));
-      }
-      tuples.push_back(std::move(t));
-    }
-    layer.Add(static_cast<int>(rel), vertex, std::move(tuples));
-  }
-  return layer;
+  return n + layers_->TotalTuples();
 }
 
 Status ProvenanceStore::SaveToFile(const std::string& path) const {
-  BinaryWriter writer;
-  writer.WriteU32(0x41505631);  // "APV1"
-  writer.WriteU64(schema_.size());
+  BinaryWriter body;
+  body.WriteU64(schema_.size());
   for (const auto& rel : schema_) {
-    writer.WriteString(rel.name);
-    writer.WriteU32(static_cast<uint32_t>(rel.arity));
+    body.WriteString(rel.name);
+    body.WriteU32(static_cast<uint32_t>(rel.arity));
   }
-  SerializeLayer(static_layer_, writer);
-  writer.WriteU64(layers_.size());
-  // Note: spilled layers are reloaded for the save.
-  for (const auto& entry : layers_) {
-    if (entry.resident.has_value()) {
-      SerializeLayer(*entry.resident, writer);
-    } else {
-      auto loaded = LoadLayer(entry);
-      if (!loaded.ok()) return loaded.status();
-      SerializeLayer(*loaded, writer);
+  SerializeLayer(static_layer_, body);
+  const int n_layers = layers_->num_layers();
+  body.WriteU64(static_cast<uint64_t>(n_layers));
+  for (int step = 0; step < n_layers; ++step) {
+    auto layer = layers_->Read(step);
+    if (!layer.ok()) {
+      return layer.status().WithContext("saving layer " +
+                                        std::to_string(step));
     }
+    // Always re-encode with the default page size: the image bytes are
+    // then independent of the spill configuration the store ran under.
+    const std::vector<storage::Page> pages =
+        storage::EncodeLayer(**layer, storage::kDefaultPageSize);
+    std::string blob;
+    for (const storage::Page& page : pages) {
+      storage::SerializePage(page, &blob);
+    }
+    body.WriteI64((*layer)->step);
+    body.WriteU64(pages.size());
+    body.WriteString(blob);
   }
-  return WriteFile(path, writer.data());
+  BinaryWriter out;
+  out.WriteU32(kStoreMagicV2);
+  out.WriteU32(0);  // flags, reserved
+  out.WriteU64(storage::Fnv1a(body.data()));
+  std::string file = out.MoveData();
+  file += body.data();
+  return WriteFile(path, file);
 }
 
-Result<ProvenanceStore> ProvenanceStore::LoadFromFile(
-    const std::string& path) {
-  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
-  BinaryReader reader(std::move(data));
-  ARIADNE_ASSIGN_OR_RETURN(uint32_t magic, reader.ReadU32());
-  if (magic != 0x41505631) {
-    return Status::ParseError("bad provenance store magic");
-  }
+namespace {
+
+Result<ProvenanceStore> LoadLegacyV1(BinaryReader& reader,
+                                     const std::string& path) {
   ProvenanceStore store;
   ARIADNE_ASSIGN_OR_RETURN(uint64_t n_rels, reader.ReadU64());
+  // A schema entry costs >= 12 bytes (length-prefixed name + arity).
+  if (n_rels > reader.remaining() / 12) {
+    return Status::ParseError("relation count " + std::to_string(n_rels) +
+                              " exceeds remaining bytes in " + path +
+                              " at offset " + std::to_string(reader.pos()));
+  }
   for (uint64_t i = 0; i < n_rels; ++i) {
     ARIADNE_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
     ARIADNE_ASSIGN_OR_RETURN(uint32_t arity, reader.ReadU32());
     store.AddRelation(name, static_cast<int>(arity));
   }
-  ARIADNE_ASSIGN_OR_RETURN(store.static_layer_, DeserializeLayer(reader));
+  {
+    auto layer = DeserializeLayer(reader);
+    if (!layer.ok()) return layer.status().WithContext(path);
+    store.static_layer() = std::move(layer).value();
+  }
   ARIADNE_ASSIGN_OR_RETURN(uint64_t n_layers, reader.ReadU64());
+  if (n_layers > reader.remaining() / 16) {
+    return Status::ParseError("layer count " + std::to_string(n_layers) +
+                              " exceeds remaining bytes in " + path +
+                              " at offset " + std::to_string(reader.pos()));
+  }
   for (uint64_t i = 0; i < n_layers; ++i) {
-    ARIADNE_ASSIGN_OR_RETURN(Layer layer, DeserializeLayer(reader));
-    ARIADNE_RETURN_NOT_OK(store.AppendLayer(std::move(layer)));
+    auto layer = DeserializeLayer(reader);
+    if (!layer.ok()) {
+      return layer.status().WithContext(path + " (layer " +
+                                        std::to_string(i) + ")");
+    }
+    ARIADNE_RETURN_NOT_OK(store.AppendLayer(std::move(layer).value()));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError(std::to_string(reader.remaining()) +
+                              " trailing byte(s) in " + path +
+                              " after layer data");
   }
   return store;
+}
+
+Result<ProvenanceStore> LoadV2(BinaryReader& reader, const std::string& path) {
+  ProvenanceStore store;
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t n_rels, reader.ReadU64());
+  if (n_rels > reader.remaining() / 12) {
+    return Status::ParseError("relation count " + std::to_string(n_rels) +
+                              " exceeds remaining bytes in " + path +
+                              " at offset " + std::to_string(reader.pos()));
+  }
+  for (uint64_t i = 0; i < n_rels; ++i) {
+    ARIADNE_ASSIGN_OR_RETURN(std::string name, reader.ReadString());
+    ARIADNE_ASSIGN_OR_RETURN(uint32_t arity, reader.ReadU32());
+    store.AddRelation(name, static_cast<int>(arity));
+  }
+  {
+    auto layer = DeserializeLayer(reader);
+    if (!layer.ok()) return layer.status().WithContext(path);
+    store.static_layer() = std::move(layer).value();
+  }
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t n_layers, reader.ReadU64());
+  // A layer costs >= 24 bytes (step + page count + blob length).
+  if (n_layers > reader.remaining() / 24) {
+    return Status::ParseError("layer count " + std::to_string(n_layers) +
+                              " exceeds remaining bytes in " + path +
+                              " at offset " + std::to_string(reader.pos()));
+  }
+  for (uint64_t i = 0; i < n_layers; ++i) {
+    ARIADNE_ASSIGN_OR_RETURN(int64_t step, reader.ReadI64());
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n_pages, reader.ReadU64());
+    ARIADNE_ASSIGN_OR_RETURN(std::string blob, reader.ReadString());
+    if (n_pages > blob.size() / storage::kPageWireHeaderBytes) {
+      return Status::ParseError("page count " + std::to_string(n_pages) +
+                                " exceeds layer blob in " + path +
+                                " (layer " + std::to_string(i) + ")");
+    }
+    Layer layer;
+    layer.step = static_cast<Superstep>(step);
+    size_t offset = 0;
+    for (uint64_t p = 0; p < n_pages; ++p) {
+      auto page = storage::ParsePage(blob, &offset);
+      if (!page.ok()) {
+        return page.status().WithContext(path + " (layer " +
+                                         std::to_string(i) + ")");
+      }
+      Status decoded = storage::DecodePage(*page, &layer);
+      if (!decoded.ok()) {
+        return decoded.WithContext(path + " (layer " + std::to_string(i) +
+                                   ", page " + std::to_string(p) + ")");
+      }
+    }
+    if (offset != blob.size()) {
+      return Status::ParseError(std::to_string(blob.size() - offset) +
+                                " trailing byte(s) in layer blob of " + path +
+                                " (layer " + std::to_string(i) + ")");
+    }
+    ARIADNE_RETURN_NOT_OK(store.AppendLayer(std::move(layer)));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError(std::to_string(reader.remaining()) +
+                              " trailing byte(s) in " + path +
+                              " after layer data");
+  }
+  return store;
+}
+
+}  // namespace
+
+Result<ProvenanceStore> ProvenanceStore::LoadFromFile(
+    const std::string& path) {
+  std::string data;
+  {
+    auto read = ReadFile(path);
+    if (!read.ok()) return read.status();
+    data = std::move(read).value();
+  }
+  if (data.size() < 4) {
+    return Status::ParseError("truncated provenance store file " + path +
+                              " (" + std::to_string(data.size()) + " bytes)");
+  }
+  uint32_t magic;
+  std::memcpy(&magic, data.data(), sizeof(magic));
+  if (magic == kStoreMagicV1) {
+    BinaryReader reader(std::move(data));
+    (void)reader.ReadU32();  // magic, just validated
+    return LoadLegacyV1(reader, path);
+  }
+  if (magic != kStoreMagicV2) {
+    return Status::ParseError("bad provenance store magic in " + path);
+  }
+  if (data.size() < kV2HeaderBytes) {
+    return Status::ParseError("truncated provenance store header in " + path);
+  }
+  uint32_t flags;
+  std::memcpy(&flags, data.data() + 4, sizeof(flags));
+  if (flags != 0) {
+    return Status::ParseError("unsupported provenance store flags " +
+                              std::to_string(flags) + " in " + path);
+  }
+  uint64_t checksum;
+  std::memcpy(&checksum, data.data() + 8, sizeof(checksum));
+  const uint64_t actual = storage::Fnv1a(
+      std::string_view(data).substr(kV2HeaderBytes));
+  if (actual != checksum) {
+    return Status::ParseError("provenance store checksum mismatch in " + path);
+  }
+  BinaryReader reader(std::move(data));
+  (void)reader.ReadU32();  // magic
+  (void)reader.ReadU32();  // flags
+  (void)reader.ReadU64();  // checksum, just verified
+  return LoadV2(reader, path);
 }
 
 }  // namespace ariadne

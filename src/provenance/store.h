@@ -2,57 +2,32 @@
 #define ARIADNE_PROVENANCE_STORE_H_
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
 #include "common/serialize.h"
 #include "common/status.h"
 #include "engine/types.h"
-#include "graph/graph.h"
 #include "pql/analysis.h"
 #include "pql/relation.h"
+#include "storage/layer.h"
+#include "storage/layer_store.h"
 
 namespace ariadne {
 
-/// Schema entry of a stored provenance relation.
-struct StoredRelation {
-  std::string name;
-  int arity = 0;
-};
-
-/// All tuples one vertex contributed to one relation within a layer.
-struct LayerSlice {
-  int rel = 0;  ///< index into ProvenanceStore schema
-  VertexId vertex = 0;
-  std::vector<Tuple> tuples;
-};
-
-/// One layer of the provenance graph (Definition 5.1): everything captured
-/// during one superstep, in the compact per-vertex representation.
-struct Layer {
-  Superstep step = 0;
-  std::vector<LayerSlice> slices;
-  size_t byte_size = 0;
-
-  void Add(int rel, VertexId vertex, std::vector<Tuple> tuples);
-
-  /// Sorts slices into (rel, vertex) order. Capture wrappers call this
-  /// before sealing a layer: multi-threaded capture appends slices in
-  /// scheduling order, and canonicalizing makes the stored provenance —
-  /// and its serialized bytes — identical for any engine thread count.
-  void Canonicalize();
-};
-
 /// The captured provenance graph. Layers are appended in superstep order
 /// during capture; a separate "static" segment holds superstep-independent
-/// relations (e.g. the prov-edges copy of paper Query 11). When a memory
-/// budget is set, sealed layers beyond the budget spill to disk (the
-/// stand-in for the paper's asynchronous HDFS offload) and reload on
-/// demand during layered evaluation.
+/// relations (e.g. the prov-edges copy of paper Query 11).
+///
+/// Layer storage is delegated to storage::LayerStore: with a spill
+/// configuration, sealed layers are encoded into compressed columnar pages
+/// and written behind by a background flusher (the stand-in for the
+/// paper's asynchronous HDFS offload), decoded copies are evicted under a
+/// byte budget, and reads are served resident -> page cache -> disk,
+/// optionally restricted to a relation subset.
 class ProvenanceStore {
  public:
-  ProvenanceStore() = default;
+  ProvenanceStore() : layers_(std::make_unique<storage::LayerStore>()) {}
 
   ProvenanceStore(const ProvenanceStore&) = delete;
   ProvenanceStore& operator=(const ProvenanceStore&) = delete;
@@ -71,23 +46,47 @@ class ProvenanceStore {
 
   // ---- Building (capture) ----
 
-  /// Enables spilling: when in-memory layer bytes exceed `budget_bytes`,
-  /// the oldest resident layers are written to `dir`.
+  /// Enables spilling with default storage options: layers beyond
+  /// `budget_bytes` of decoded bytes go to `dir` as compressed pages.
+  /// Existing layers are flushed before the call returns.
   Status EnableSpill(std::string dir, size_t budget_bytes);
+
+  /// Full-control variant of EnableSpill (thread count, page size,
+  /// write-behind bound).
+  Status ConfigureStorage(storage::LayerStoreOptions options);
+  bool spill_enabled() const { return layers_->spill_enabled(); }
 
   Layer& static_layer() { return static_layer_; }
 
-  /// Seals a layer (must have `layer.step == num_layers()`), then applies
-  /// the spill policy.
+  /// Seals the layer for superstep `num_layers()`. With spill enabled the
+  /// encode+write happens on the background flusher, so the superstep
+  /// barrier is not held up (bounded by the write-behind backpressure).
   Status AppendLayer(Layer layer);
+
+  /// Waits for all background writes to hit disk and re-enforces the
+  /// memory budget; returns the first flush error (sticky). Call after
+  /// capture and before relying on SpilledLayerCount or spill files.
+  Status Flush();
 
   // ---- Reading ----
 
-  int num_layers() const { return static_cast<int>(layers_.size()); }
+  int num_layers() const { return layers_->num_layers(); }
 
   /// The layer for superstep `step`, loading it from spill if necessary.
   /// The returned pointer is valid until the next GetLayer/AppendLayer.
   Result<const Layer*> GetLayer(int step);
+
+  /// Like GetLayer, but only the relations in `rels` are materialized
+  /// (empty = all) — pages of other relations are never read or decoded.
+  /// May return a relation superset when the full layer is already in
+  /// memory. The shared_ptr keeps the data alive independently of the
+  /// store's eviction decisions.
+  Result<std::shared_ptr<const Layer>> GetLayerRelations(
+      int step, const std::vector<int>& rels);
+
+  /// Asynchronous hint that `step` (restricted to `rels`) is about to be
+  /// read. Layered evaluation issues these direction-aware. Best-effort.
+  void PrefetchLayer(int step, const std::vector<int>& rels);
 
   const Layer& static_data() const { return static_layer_; }
 
@@ -96,35 +95,28 @@ class ProvenanceStore {
   size_t TotalBytes() const;
   size_t InMemoryBytes() const;
   int64_t TotalTuples() const;
-  int SpilledLayerCount() const;
+  int SpilledLayerCount() const { return layers_->SpilledCount(); }
+
+  /// Flusher / page-cache / read-path counters of the storage subsystem.
+  storage::StorageStats storage_stats() const { return layers_->stats(); }
 
   /// Serializes the whole store (schema + static + layers) / reloads it.
+  /// Writes the page-compressed "APV2" image; the bytes are identical for
+  /// any spill configuration or engine thread count. LoadFromFile also
+  /// accepts the legacy row-major "APV1" format.
   Status SaveToFile(const std::string& path) const;
   static Result<ProvenanceStore> LoadFromFile(const std::string& path);
 
  private:
-  struct LayerEntry {
-    std::optional<Layer> resident;
-    std::string spill_path;  ///< non-empty when spilled
-    size_t byte_size = 0;    ///< logical size even when spilled
-    Superstep step = 0;
-  };
-
-  Status SpillLayer(LayerEntry& entry);
-  Result<Layer> LoadLayer(const LayerEntry& entry) const;
-  Status ApplySpillPolicy(int keep_step = -1);
-
   std::vector<StoredRelation> schema_;
   Layer static_layer_;
-  std::vector<LayerEntry> layers_;
-  std::string spill_dir_;
-  size_t spill_budget_ = 0;  ///< 0: spilling disabled
-  bool spill_enabled_ = false;
+  /// unique_ptr keeps ProvenanceStore movable: background flush tasks
+  /// hold a LayerStore `this`, which therefore must not move.
+  std::unique_ptr<storage::LayerStore> layers_;
+  /// Keeps the layer returned by the last GetLayer alive (the raw-pointer
+  /// contract above), independent of store eviction.
+  std::shared_ptr<const Layer> loaded_;
 };
-
-/// Serialization helpers (also used by tests).
-void SerializeLayer(const Layer& layer, BinaryWriter& writer);
-Result<Layer> DeserializeLayer(BinaryReader& reader);
 
 }  // namespace ariadne
 

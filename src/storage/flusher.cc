@@ -1,0 +1,66 @@
+#include "storage/flusher.h"
+
+namespace ariadne::storage {
+
+BackgroundFlusher::BackgroundFlusher(int num_threads) {
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+BackgroundFlusher::~BackgroundFlusher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+  // Inline mode has no threads and an always-empty queue; with threads,
+  // workers drain the remaining queue before exiting (see WorkerLoop).
+}
+
+void BackgroundFlusher::Submit(std::function<void()> task) {
+  if (threads_.empty()) {
+    task();
+    std::lock_guard<std::mutex> lock(mu_);
+    ++executed_;
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void BackgroundFlusher::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+uint64_t BackgroundFlusher::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return executed_;
+}
+
+void BackgroundFlusher::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (shutdown_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    ++running_;
+    lock.unlock();
+    task();
+    lock.lock();
+    --running_;
+    ++executed_;
+    if (queue_.empty() && running_ == 0) drain_cv_.notify_all();
+  }
+}
+
+}  // namespace ariadne::storage

@@ -1,0 +1,55 @@
+#ifndef ARIADNE_STORAGE_LAYER_H_
+#define ARIADNE_STORAGE_LAYER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+#include "engine/types.h"
+#include "pql/relation.h"
+
+namespace ariadne {
+
+/// Schema entry of a stored provenance relation.
+struct StoredRelation {
+  std::string name;
+  int arity = 0;
+};
+
+/// All tuples one vertex contributed to one relation within a layer.
+struct LayerSlice {
+  int rel = 0;  ///< index into ProvenanceStore schema
+  VertexId vertex = 0;
+  std::vector<Tuple> tuples;
+};
+
+/// One layer of the provenance graph (Definition 5.1): everything captured
+/// during one superstep, in the compact per-vertex representation. Also
+/// the unit of storage: the page codec (storage/page.h) encodes one layer
+/// into fixed-size compressed pages, and the layer store spills/reloads
+/// whole layers or per-relation subsets of them.
+struct Layer {
+  Superstep step = 0;
+  std::vector<LayerSlice> slices;
+  size_t byte_size = 0;
+
+  void Add(int rel, VertexId vertex, std::vector<Tuple> tuples);
+
+  /// Sorts slices into (rel, vertex) order. Capture wrappers call this
+  /// before sealing a layer: multi-threaded capture appends slices in
+  /// scheduling order, and canonicalizing makes the stored provenance —
+  /// and its serialized bytes — identical for any engine thread count.
+  void Canonicalize();
+};
+
+/// Row-major layer serialization — the legacy ("APV1") wire format, kept
+/// for on-disk compatibility and as the uncompressed baseline that the
+/// storage stats' compression ratio is measured against. New spill files
+/// and store images use the page codec (storage/page.h) instead.
+void SerializeLayer(const Layer& layer, BinaryWriter& writer);
+Result<Layer> DeserializeLayer(BinaryReader& reader);
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_STORAGE_LAYER_H_

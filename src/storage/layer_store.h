@@ -1,0 +1,174 @@
+#ifndef ARIADNE_STORAGE_LAYER_STORE_H_
+#define ARIADNE_STORAGE_LAYER_STORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/flusher.h"
+#include "storage/layer.h"
+#include "storage/page.h"
+#include "storage/page_cache.h"
+
+namespace ariadne::storage {
+
+struct LayerStoreOptions {
+  /// Spill directory (must exist). Empty = invalid for Configure.
+  std::string dir;
+  /// Byte budget for decoded resident layers + the compressed page cache
+  /// (the cache gets a quarter, decoded layers the rest). 0 = everything
+  /// spills and nothing is cached — every read pays disk + decode.
+  size_t mem_budget_bytes = 0;
+  /// Background write-behind/prefetch threads; <= 0 flushes inline
+  /// (deterministic, but Append then blocks on the write).
+  int flush_threads = 1;
+  /// Target payload bytes per page.
+  size_t page_size = kDefaultPageSize;
+  /// Backpressure bound: Append blocks only once the decoded bytes
+  /// awaiting flush exceed this (write-behind stays bounded without
+  /// stalling the superstep barrier in steady state).
+  size_t max_unflushed_bytes = size_t{256} << 20;
+};
+
+/// Aggregate counters of the storage subsystem (flusher + page cache +
+/// read path), surfaced by `ariadne_run` and `bench_store_micro`.
+struct StorageStats {
+  uint64_t layers_flushed = 0;
+  uint64_t pages_written = 0;
+  /// Page wire bytes written to spill files.
+  uint64_t compressed_bytes = 0;
+  /// SerializeLayer (row-major uncompressed) bytes of the same layers —
+  /// the denominator of the compression ratio.
+  uint64_t raw_serialized_bytes = 0;
+  uint64_t pages_read = 0;  ///< pages parsed from disk (incl. prefetch)
+  uint64_t prefetch_requests = 0;
+  uint64_t prefetch_pages = 0;
+  double flush_seconds = 0.0;  ///< cumulative wall time in flush tasks
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_bytes = 0;  ///< current
+
+  double CompressionRatio() const {
+    return raw_serialized_bytes == 0
+               ? 1.0
+               : static_cast<double>(compressed_bytes) /
+                     static_cast<double>(raw_serialized_bytes);
+  }
+  double CacheHitRate() const {
+    const uint64_t total = cache_hits + cache_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(cache_hits) /
+                            static_cast<double>(total);
+  }
+};
+
+/// Buffer-managed columnar store of provenance layers: the subsystem
+/// behind ProvenanceStore (which keeps the schema and static segment).
+///
+/// Unconfigured, it is a plain in-memory vector of layers. After
+/// Configure() it becomes a spilling store: Append hands the sealed layer
+/// to the BackgroundFlusher, which encodes it into compressed pages
+/// (storage/page.h), writes `layer_<step>.apg` into the spill directory
+/// and then drops the decoded copy if the memory budget demands it.
+/// Reads serve from decoded residents, then the compressed PageCache,
+/// then disk — optionally restricted to a relation subset so a query
+/// over `send-message` never decompresses `vertex-value` pages.
+///
+/// Held by ProvenanceStore through a unique_ptr: background tasks hold
+/// `this`, so the object must not move (ProvenanceStore stays movable).
+class LayerStore {
+ public:
+  LayerStore() = default;
+  ~LayerStore();
+
+  LayerStore(const LayerStore&) = delete;
+  LayerStore& operator=(const LayerStore&) = delete;
+
+  /// Enables spilling. Existing layers are flushed synchronously (the
+  /// call returns with the store under budget); later Appends write
+  /// behind. Reconfiguring an already-configured store is an error.
+  Status Configure(LayerStoreOptions options);
+  bool spill_enabled() const;
+
+  /// Appends the sealed layer for superstep `num_layers()`. With spill
+  /// enabled the encode+write happens on the flusher; this call only
+  /// blocks when `max_unflushed_bytes` of write-behind is outstanding.
+  Status Append(std::shared_ptr<const Layer> layer);
+
+  int num_layers() const;
+
+  /// The full layer for superstep `step`: the decoded resident copy when
+  /// there is one, otherwise decoded from (cached or on-disk) pages.
+  Result<std::shared_ptr<const Layer>> Read(int step);
+
+  /// Like Read, but materializes only the slices of the relations in
+  /// `rels` (empty = all). Only matching pages are touched/decoded.
+  Result<std::shared_ptr<const Layer>> ReadRelations(
+      int step, const std::vector<int>& rels);
+
+  /// Asynchronous hint: load the pages of `step` restricted to `rels`
+  /// into the page cache. Layered evaluation issues these
+  /// direction-aware (step+1 ascending, step-1 descending). Best-effort;
+  /// errors surface on the subsequent Read.
+  void Prefetch(int step, const std::vector<int>& rels);
+
+  /// Waits for all background writes, enforces the budget, and returns
+  /// the first flush error (sticky). The spill files are durable (each
+  /// write ends in a flush) once this returns.
+  Status Drain();
+
+  size_t TotalBytes() const;     ///< logical bytes, resident or spilled
+  size_t InMemoryBytes() const;  ///< decoded residents + cached pages
+  int64_t TotalTuples() const;
+  int SpilledCount() const;  ///< layers with no decoded resident copy
+  StorageStats stats() const;
+
+ private:
+  struct Entry {
+    Superstep step = 0;
+    size_t byte_size = 0;
+    int64_t tuple_count = 0;
+    std::shared_ptr<const Layer> resident;
+    bool flush_pending = false;
+    bool flushed = false;
+    std::string file;
+    /// Wire location + relation of each page, in page-index order.
+    struct PageRef {
+      uint32_t rel = 0;
+      uint64_t offset = 0;
+      uint32_t bytes = 0;
+    };
+    std::vector<PageRef> pages;
+    uint64_t last_use = 0;
+  };
+
+  void SubmitFlushLocked(Entry* entry);
+  void FlushEntry(Entry* entry);
+  void EvictResidentsLocked();
+  size_t DecodedBudget() const;
+  Result<std::shared_ptr<const Page>> FetchPage(const Entry& entry,
+                                                uint32_t index);
+  Result<std::shared_ptr<const Layer>> ReadImpl(int step,
+                                                const std::vector<int>& rels);
+
+  mutable std::mutex mu_;
+  std::condition_variable backpressure_cv_;
+  std::vector<std::unique_ptr<Entry>> entries_;
+  LayerStoreOptions options_;
+  bool configured_ = false;
+  size_t unflushed_bytes_ = 0;
+  uint64_t use_tick_ = 0;
+  Status first_flush_error_;
+  StorageStats stats_;  ///< cache_* fields filled from cache_ on read
+  std::unique_ptr<PageCache> cache_;
+  std::unique_ptr<BackgroundFlusher> flusher_;
+};
+
+}  // namespace ariadne::storage
+
+#endif  // ARIADNE_STORAGE_LAYER_STORE_H_

@@ -1,0 +1,407 @@
+#include "storage/page.h"
+
+#include <cstring>
+
+namespace ariadne::storage {
+
+namespace {
+
+/// Column encodings. Provenance columns are dominated by vertex ids and
+/// superstep counters (small, slowly varying ints) and by payload doubles;
+/// the tags below cover those hot shapes and fall back to a tagged
+/// per-value encoding for anything else.
+enum ColumnTag : uint8_t {
+  kColConst = 0,     ///< every row holds the same value (e.g. step columns)
+  kColIntDelta = 1,  ///< all ints: zigzag start + zigzag deltas
+  kColDouble = 2,    ///< all doubles: raw 8-byte little-endian
+  kColMixed = 3,     ///< per-value kind tag + payload
+};
+
+enum SliceFormat : uint8_t {
+  kSliceColumnar = 0,  ///< uniform arity, column-major runs
+  kSliceRowMajor = 1,  ///< mixed arity fallback, row-major tagged values
+};
+
+void AppendDoubleRaw(std::string* out, double d) {
+  char buf[sizeof(double)];
+  std::memcpy(buf, &d, sizeof(double));
+  out->append(buf, sizeof(double));
+}
+
+void AppendValueTagged(std::string* out, const Value& v) {
+  out->push_back(static_cast<char>(v.kind()));
+  switch (v.kind()) {
+    case Value::Kind::kNull:
+      break;
+    case Value::Kind::kInt:
+      AppendZigzag(out, v.AsInt());
+      break;
+    case Value::Kind::kDouble:
+      AppendDoubleRaw(out, v.AsDouble());
+      break;
+    case Value::Kind::kString: {
+      const std::string& s = v.AsString();
+      AppendVarint(out, s.size());
+      out->append(s);
+      break;
+    }
+    case Value::Kind::kDoubleVector: {
+      const auto& vec = v.AsDoubleVector();
+      AppendVarint(out, vec.size());
+      for (double d : vec) AppendDoubleRaw(out, d);
+      break;
+    }
+  }
+}
+
+void AppendColumn(std::string* out, const std::vector<Tuple>& tuples,
+                  size_t col) {
+  const Value& first = tuples[0][col];
+  bool all_equal = true;
+  bool all_int = first.is_int();
+  bool all_double = first.is_double();
+  for (const Tuple& t : tuples) {
+    const Value& v = t[col];
+    if (all_equal && v != first) all_equal = false;
+    if (all_int && !v.is_int()) all_int = false;
+    if (all_double && !v.is_double()) all_double = false;
+  }
+  if (all_equal) {
+    out->push_back(static_cast<char>(kColConst));
+    AppendValueTagged(out, first);
+    return;
+  }
+  if (all_int) {
+    out->push_back(static_cast<char>(kColIntDelta));
+    int64_t prev = 0;
+    for (const Tuple& t : tuples) {
+      const int64_t v = t[col].AsInt();
+      AppendZigzag(out, v - prev);
+      prev = v;
+    }
+    return;
+  }
+  if (all_double) {
+    out->push_back(static_cast<char>(kColDouble));
+    for (const Tuple& t : tuples) AppendDoubleRaw(out, t[col].AsDouble());
+    return;
+  }
+  out->push_back(static_cast<char>(kColMixed));
+  for (const Tuple& t : tuples) AppendValueTagged(out, t[col]);
+}
+
+void AppendSlice(std::string* out, const LayerSlice& slice,
+                 VertexId prev_vertex) {
+  AppendZigzag(out, slice.vertex - prev_vertex);
+  AppendVarint(out, slice.tuples.size());
+  const size_t arity = slice.tuples[0].size();
+  bool uniform = true;
+  for (const Tuple& t : slice.tuples) {
+    if (t.size() != arity) {
+      uniform = false;
+      break;
+    }
+  }
+  if (!uniform || arity == 0) {
+    out->push_back(static_cast<char>(kSliceRowMajor));
+    for (const Tuple& t : slice.tuples) {
+      AppendVarint(out, t.size());
+      for (const Value& v : t) AppendValueTagged(out, v);
+    }
+    return;
+  }
+  out->push_back(static_cast<char>(kSliceColumnar));
+  AppendVarint(out, arity);
+  for (size_t col = 0; col < arity; ++col) {
+    AppendColumn(out, slice.tuples, col);
+  }
+}
+
+Result<double> ReadDoubleRaw(ByteReader& reader) {
+  double d;
+  ARIADNE_RETURN_NOT_OK(reader.ReadRaw(&d, sizeof(double)));
+  return d;
+}
+
+Result<Value> ReadValueTagged(ByteReader& reader) {
+  ARIADNE_ASSIGN_OR_RETURN(uint8_t kind, reader.ReadByte());
+  switch (static_cast<Value::Kind>(kind)) {
+    case Value::Kind::kNull:
+      return Value();
+    case Value::Kind::kInt: {
+      ARIADNE_ASSIGN_OR_RETURN(int64_t v, reader.ReadZigzag());
+      return Value(v);
+    }
+    case Value::Kind::kDouble: {
+      ARIADNE_ASSIGN_OR_RETURN(double v, ReadDoubleRaw(reader));
+      return Value(v);
+    }
+    case Value::Kind::kString: {
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+      if (n > reader.remaining()) {
+        return Status::OutOfRange("string length " + std::to_string(n) +
+                                  " exceeds payload");
+      }
+      std::string s(n, '\0');
+      ARIADNE_RETURN_NOT_OK(reader.ReadRaw(s.data(), n));
+      return Value(std::move(s));
+    }
+    case Value::Kind::kDoubleVector: {
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t n, reader.ReadVarint());
+      if (n > reader.remaining() / sizeof(double)) {
+        return Status::OutOfRange("vector length " + std::to_string(n) +
+                                  " exceeds payload");
+      }
+      std::vector<double> vec(n);
+      for (uint64_t i = 0; i < n; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(vec[i], ReadDoubleRaw(reader));
+      }
+      return Value(std::move(vec));
+    }
+  }
+  return Status::ParseError("unknown value kind tag " + std::to_string(kind));
+}
+
+Status ReadColumn(ByteReader& reader, std::vector<Tuple>& tuples,
+                  size_t col) {
+  ARIADNE_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadByte());
+  const size_t n = tuples.size();
+  switch (tag) {
+    case kColConst: {
+      ARIADNE_ASSIGN_OR_RETURN(Value v, ReadValueTagged(reader));
+      for (size_t i = 0; i + 1 < n; ++i) tuples[i][col] = v;
+      tuples[n - 1][col] = std::move(v);
+      return Status::OK();
+    }
+    case kColIntDelta: {
+      int64_t prev = 0;
+      for (size_t i = 0; i < n; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(int64_t delta, reader.ReadZigzag());
+        prev += delta;
+        tuples[i][col] = Value(prev);
+      }
+      return Status::OK();
+    }
+    case kColDouble: {
+      for (size_t i = 0; i < n; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(double d, ReadDoubleRaw(reader));
+        tuples[i][col] = Value(d);
+      }
+      return Status::OK();
+    }
+    case kColMixed: {
+      for (size_t i = 0; i < n; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(tuples[i][col], ReadValueTagged(reader));
+      }
+      return Status::OK();
+    }
+    default:
+      return Status::ParseError("unknown column tag " + std::to_string(tag));
+  }
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendU64(std::string* out, uint64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void AppendI64(std::string* out, int64_t v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+}  // namespace
+
+void AppendVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+void AppendZigzag(std::string* out, int64_t v) {
+  AppendVarint(out, (static_cast<uint64_t>(v) << 1) ^
+                        static_cast<uint64_t>(v >> 63));
+}
+
+uint64_t Fnv1a(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (char c : data) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Result<uint64_t> ByteReader::ReadVarint() {
+  uint64_t v = 0;
+  for (int shift = 0; shift < 64; shift += 7) {
+    if (pos_ >= size_) {
+      return Status::OutOfRange("varint runs past end of payload");
+    }
+    const uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+  }
+  return Status::ParseError("varint longer than 10 bytes");
+}
+
+Result<int64_t> ByteReader::ReadZigzag() {
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t v, ReadVarint());
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+Result<uint8_t> ByteReader::ReadByte() {
+  if (pos_ >= size_) return Status::OutOfRange("read past end of payload");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Status ByteReader::ReadRaw(void* p, size_t n) {
+  if (n > remaining()) {
+    return Status::OutOfRange("raw read past end of payload");
+  }
+  std::memcpy(p, data_ + pos_, n);
+  pos_ += n;
+  return Status::OK();
+}
+
+std::vector<Page> EncodeLayer(const Layer& layer, size_t page_size) {
+  std::vector<Page> pages;
+  Page* open = nullptr;
+  for (const LayerSlice& slice : layer.slices) {
+    if (slice.tuples.empty()) continue;
+    const uint32_t rel = static_cast<uint32_t>(slice.rel);
+    if (open == nullptr || open->header.rel != rel ||
+        open->payload.size() >= page_size) {
+      pages.emplace_back();
+      open = &pages.back();
+      open->header.rel = rel;
+      open->header.first_vertex = slice.vertex;
+      open->header.last_vertex = slice.vertex;
+    }
+    // Vertex ids delta-encode against the previous slice of the page;
+    // canonical layers are sorted per relation, so deltas stay tiny.
+    const VertexId prev =
+        open->header.slice_count == 0 ? 0 : open->header.last_vertex;
+    AppendSlice(&open->payload, slice, prev);
+    open->header.last_vertex = slice.vertex;
+    ++open->header.slice_count;
+    for (const Tuple& t : slice.tuples) {
+      open->header.raw_bytes += TupleByteSize(t);
+    }
+  }
+  return pages;
+}
+
+Status DecodePage(const Page& page, Layer* layer) {
+  ByteReader reader(page.payload);
+  VertexId prev_vertex = 0;
+  for (uint32_t s = 0; s < page.header.slice_count; ++s) {
+    ARIADNE_ASSIGN_OR_RETURN(int64_t delta, reader.ReadZigzag());
+    const VertexId vertex = prev_vertex + delta;
+    prev_vertex = vertex;
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n_tuples, reader.ReadVarint());
+    // Distinct tuples need at least one varying column, so a tuple costs
+    // ~1 payload byte; the x64 slack covers const-heavy slices while
+    // still rejecting corrupt counts before they drive allocations.
+    if (n_tuples == 0 || n_tuples / 64 > reader.remaining()) {
+      return Status::ParseError("slice tuple count " +
+                                std::to_string(n_tuples) +
+                                " exceeds payload at offset " +
+                                std::to_string(reader.pos()));
+    }
+    ARIADNE_ASSIGN_OR_RETURN(uint8_t format, reader.ReadByte());
+    std::vector<Tuple> tuples;
+    if (format == kSliceRowMajor) {
+      tuples.reserve(n_tuples);
+      for (uint64_t i = 0; i < n_tuples; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(uint64_t arity, reader.ReadVarint());
+        if (arity > reader.remaining()) {
+          return Status::ParseError("tuple arity exceeds payload");
+        }
+        Tuple t;
+        t.reserve(arity);
+        for (uint64_t a = 0; a < arity; ++a) {
+          ARIADNE_ASSIGN_OR_RETURN(Value v, ReadValueTagged(reader));
+          t.push_back(std::move(v));
+        }
+        tuples.push_back(std::move(t));
+      }
+    } else if (format == kSliceColumnar) {
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t arity, reader.ReadVarint());
+      if (arity > reader.remaining() ||
+          (arity != 0 && n_tuples > (uint64_t{1} << 31) / arity)) {
+        return Status::ParseError("slice arity " + std::to_string(arity) +
+                                  " exceeds payload at offset " +
+                                  std::to_string(reader.pos()));
+      }
+      tuples.assign(n_tuples, Tuple(arity));
+      for (uint64_t col = 0; col < arity; ++col) {
+        ARIADNE_RETURN_NOT_OK(ReadColumn(reader, tuples, col));
+      }
+    } else {
+      return Status::ParseError("unknown slice format " +
+                                std::to_string(format) + " at offset " +
+                                std::to_string(reader.pos()));
+    }
+    layer->Add(static_cast<int>(page.header.rel), vertex, std::move(tuples));
+  }
+  if (!reader.AtEnd()) {
+    return Status::ParseError(
+        std::to_string(reader.remaining()) +
+        " trailing byte(s) after last slice of page payload");
+  }
+  return Status::OK();
+}
+
+void SerializePage(const Page& page, std::string* out) {
+  AppendU32(out, kPageMagic);
+  AppendU32(out, page.header.rel);
+  AppendI64(out, page.header.first_vertex);
+  AppendI64(out, page.header.last_vertex);
+  AppendU32(out, page.header.slice_count);
+  AppendU32(out, static_cast<uint32_t>(page.payload.size()));
+  AppendU64(out, page.header.raw_bytes);
+  AppendU64(out, Fnv1a(page.payload));
+  out->append(page.payload);
+}
+
+Result<Page> ParsePage(std::string_view data, size_t* offset) {
+  const size_t start = *offset;
+  auto at = [&](const char* what) {
+    return Status::ParseError(std::string(what) + " at offset " +
+                              std::to_string(start));
+  };
+  if (data.size() - start < kPageWireHeaderBytes) {
+    return at("truncated page header");
+  }
+  ByteReader reader(data.data() + start, data.size() - start);
+  uint32_t magic, rel, slice_count, payload_bytes;
+  int64_t first_vertex, last_vertex;
+  uint64_t raw_bytes, checksum;
+  (void)reader.ReadRaw(&magic, sizeof(magic));
+  (void)reader.ReadRaw(&rel, sizeof(rel));
+  (void)reader.ReadRaw(&first_vertex, sizeof(first_vertex));
+  (void)reader.ReadRaw(&last_vertex, sizeof(last_vertex));
+  (void)reader.ReadRaw(&slice_count, sizeof(slice_count));
+  (void)reader.ReadRaw(&payload_bytes, sizeof(payload_bytes));
+  (void)reader.ReadRaw(&raw_bytes, sizeof(raw_bytes));
+  (void)reader.ReadRaw(&checksum, sizeof(checksum));
+  if (magic != kPageMagic) return at("bad page magic");
+  if (payload_bytes > reader.remaining()) return at("truncated page payload");
+  std::string_view payload(data.data() + start + kPageWireHeaderBytes,
+                           payload_bytes);
+  if (Fnv1a(payload) != checksum) return at("page checksum mismatch");
+  Page page;
+  page.header.rel = rel;
+  page.header.first_vertex = first_vertex;
+  page.header.last_vertex = last_vertex;
+  page.header.slice_count = slice_count;
+  page.header.raw_bytes = raw_bytes;
+  page.payload.assign(payload);
+  *offset = start + kPageWireHeaderBytes + payload_bytes;
+  return page;
+}
+
+}  // namespace ariadne::storage

@@ -1,0 +1,79 @@
+#include "storage/page_cache.h"
+
+namespace ariadne::storage {
+
+std::shared_ptr<const Page> PageCache::Lookup(const PageKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->page;
+}
+
+bool PageCache::Contains(const PageKey& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.count(key) != 0;
+}
+
+void PageCache::Insert(const PageKey& key, std::shared_ptr<const Page> page) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    // Refresh: identical content is the common case (a re-read after
+    // eviction); swap the payload and move to the front either way.
+    stats_.bytes_cached -= it->second->bytes;
+    it->second->bytes = PageBytes(*page);
+    it->second->page = std::move(page);
+    stats_.bytes_cached += it->second->bytes;
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    Entry entry;
+    entry.key = key;
+    entry.bytes = PageBytes(*page);
+    entry.page = std::move(page);
+    stats_.bytes_cached += entry.bytes;
+    ++stats_.insertions;
+    lru_.push_front(std::move(entry));
+    map_[key] = lru_.begin();
+  }
+  EvictLocked();
+}
+
+void PageCache::Pin(const PageKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end()) ++it->second->pin_count;
+}
+
+void PageCache::Unpin(const PageKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end() && it->second->pin_count > 0) --it->second->pin_count;
+}
+
+void PageCache::EvictLocked() {
+  if (stats_.bytes_cached <= budget_) return;
+  for (auto it = std::prev(lru_.end());;) {
+    const bool at_front = it == lru_.begin();
+    auto prev = at_front ? it : std::prev(it);
+    if (it->pin_count == 0) {
+      stats_.bytes_cached -= it->bytes;
+      ++stats_.evictions;
+      map_.erase(it->key);
+      lru_.erase(it);
+    }
+    if (at_front || stats_.bytes_cached <= budget_) break;
+    it = prev;
+  }
+}
+
+PageCacheStats PageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace ariadne::storage

@@ -1,0 +1,96 @@
+#ifndef ARIADNE_STORAGE_PAGE_CACHE_H_
+#define ARIADNE_STORAGE_PAGE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "storage/page.h"
+
+namespace ariadne::storage {
+
+/// Identity of one encoded page: (layer step, page index within layer).
+struct PageKey {
+  int32_t step = 0;
+  uint32_t index = 0;
+  bool operator==(const PageKey& other) const {
+    return step == other.step && index == other.index;
+  }
+};
+
+struct PageKeyHash {
+  size_t operator()(const PageKey& k) const {
+    return (static_cast<size_t>(static_cast<uint32_t>(k.step)) << 32) ^
+           k.index;
+  }
+};
+
+/// Cache counters; all monotonically increasing except `bytes_cached`.
+struct PageCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t insertions = 0;
+  uint64_t bytes_cached = 0;  ///< current payload bytes resident
+};
+
+/// Thread-safe LRU cache of encoded (compressed) pages under a byte
+/// budget. Entries hand out shared_ptrs, so a reader is never invalidated
+/// by a concurrent eviction — eviction merely drops the cache's own
+/// reference. Pinned pages are exempt from eviction (used while a layer's
+/// page set is being decoded or prefetched), which is what makes the
+/// budget a soft bound: pins can transiently exceed it.
+class PageCache {
+ public:
+  explicit PageCache(size_t budget_bytes) : budget_(budget_bytes) {}
+
+  PageCache(const PageCache&) = delete;
+  PageCache& operator=(const PageCache&) = delete;
+
+  /// Returns the cached page or nullptr, counting a hit or miss and
+  /// refreshing LRU order on hit.
+  std::shared_ptr<const Page> Lookup(const PageKey& key);
+
+  /// Stat-neutral presence probe (prefetchers use this so speculative
+  /// checks never skew the hit rate).
+  bool Contains(const PageKey& key) const;
+
+  /// Inserts (or refreshes) `page`, evicting least-recently-used unpinned
+  /// entries until the budget holds. With a zero budget the insert is a
+  /// no-op unless the page is pinned.
+  void Insert(const PageKey& key, std::shared_ptr<const Page> page);
+
+  /// Marks a cached page ineligible for eviction / re-eligible. Pins
+  /// nest; unpinning an uncached or unpinned key is a no-op.
+  void Pin(const PageKey& key);
+  void Unpin(const PageKey& key);
+
+  PageCacheStats stats() const;
+  size_t budget() const { return budget_; }
+
+ private:
+  struct Entry {
+    PageKey key;
+    std::shared_ptr<const Page> page;
+    size_t bytes = 0;
+    int pin_count = 0;
+  };
+
+  void EvictLocked();
+  static size_t PageBytes(const Page& page) {
+    return kPageWireHeaderBytes + page.payload.size();
+  }
+
+  const size_t budget_;
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<Entry> lru_;
+  std::unordered_map<PageKey, std::list<Entry>::iterator, PageKeyHash> map_;
+  PageCacheStats stats_;
+};
+
+}  // namespace ariadne::storage
+
+#endif  // ARIADNE_STORAGE_PAGE_CACHE_H_

@@ -44,6 +44,9 @@ struct Args {
   int iterations = 20;
   int retention = 2;
   std::string dump_table;
+  std::string spill_dir;
+  double mem_budget_mb = 0;  ///< meaningful with --spill-dir
+  int flush_threads = 1;
 };
 
 int Usage() {
@@ -54,7 +57,9 @@ int Usage() {
                "capture-custom]\n"
                "  [--param name=value ...] [--mode online|capture]\n"
                "  [--store-out <file>] [--source V] [--iterations N]\n"
-               "  [--retention W] [--dump <table>]\n");
+               "  [--retention W] [--dump <table>]\n"
+               "  [--spill-dir <dir>] [--mem-budget-mb M] "
+               "[--flush-threads N]\n");
   return 2;
 }
 
@@ -101,6 +106,18 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
 
   if (args.mode == "capture") {
     ProvenanceStore store;
+    if (!args.spill_dir.empty()) {
+      storage::LayerStoreOptions options;
+      options.dir = args.spill_dir;
+      options.mem_budget_bytes =
+          static_cast<size_t>(args.mem_budget_mb * 1024 * 1024);
+      options.flush_threads = args.flush_threads;
+      Status configured = store.ConfigureStorage(std::move(options));
+      if (!configured.ok()) {
+        std::fprintf(stderr, "spill: %s\n", configured.ToString().c_str());
+        return 1;
+      }
+    }
     auto stats = session.Capture(program, *query, &store, args.retention);
     if (!stats.ok()) {
       std::fprintf(stderr, "capture: %s\n",
@@ -112,6 +129,27 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
                 store.num_layers(), HumanBytes(store.TotalBytes()).c_str(),
                 static_cast<long long>(store.TotalTuples()), stats->seconds,
                 stats->supersteps);
+    if (!args.spill_dir.empty()) {
+      const storage::StorageStats st = store.storage_stats();
+      std::printf(
+          "storage: %llu layers flushed (%d spilled), %llu pages written, "
+          "%s compressed / %s raw (ratio %.2f), %.3fs flushing\n",
+          static_cast<unsigned long long>(st.layers_flushed),
+          store.SpilledLayerCount(),
+          static_cast<unsigned long long>(st.pages_written),
+          HumanBytes(st.compressed_bytes).c_str(),
+          HumanBytes(st.raw_serialized_bytes).c_str(), st.CompressionRatio(),
+          st.flush_seconds);
+      std::printf(
+          "storage: cache %llu hit / %llu miss (%.0f%% hit rate), "
+          "%llu evictions, %llu pages read, %llu prefetch requests\n",
+          static_cast<unsigned long long>(st.cache_hits),
+          static_cast<unsigned long long>(st.cache_misses),
+          100.0 * st.CacheHitRate(),
+          static_cast<unsigned long long>(st.cache_evictions),
+          static_cast<unsigned long long>(st.pages_read),
+          static_cast<unsigned long long>(st.prefetch_requests));
+    }
     if (!args.store_out.empty()) {
       Status saved = store.SaveToFile(args.store_out);
       if (!saved.ok()) {
@@ -190,6 +228,12 @@ int main(int argc, char** argv) {
       args.retention = std::atoi(v);
     } else if (flag == "--dump" && (v = next())) {
       args.dump_table = v;
+    } else if (flag == "--spill-dir" && (v = next())) {
+      args.spill_dir = v;
+    } else if (flag == "--mem-budget-mb" && (v = next())) {
+      args.mem_budget_mb = std::atof(v);
+    } else if (flag == "--flush-threads" && (v = next())) {
+      args.flush_threads = std::atoi(v);
     } else {
       return Usage();
     }
