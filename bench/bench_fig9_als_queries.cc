@@ -72,7 +72,9 @@ int Run() {
         const Relation* rel = run->query_result.Table(c.flag_table);
         if (rel != nullptr) {
           std::set<Value> vertices;
-          for (const Tuple& t : rel->rows()) vertices.insert(t[0]);
+          for (size_t i = 0; i < rel->size(); ++i) {
+            vertices.insert(rel->row_view(i).value(0));
+          }
           flagged = vertices.size();
         }
       });

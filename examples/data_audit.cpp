@@ -65,8 +65,9 @@ int main() {
   const Relation* input_failed = run->query_result.Table("input-failed");
   std::set<std::pair<int64_t, int64_t>> bad_edges;
   if (input_failed != nullptr) {
-    for (const Tuple& t : input_failed->rows()) {
-      bad_edges.emplace(t[0].AsInt(), t[1].AsInt());
+    for (size_t i = 0; i < input_failed->size(); ++i) {
+      const Relation::RowView t = input_failed->row_view(i);
+      bad_edges.emplace(t.AsInt(0), t.AsInt(1));
     }
   }
   std::printf("audit verdicts:\n");

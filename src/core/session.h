@@ -23,6 +23,10 @@ using QueryParams = std::vector<std::pair<std::string, Value>>;
 
 struct SessionOptions {
   EngineOptions engine;
+  /// Cost-order join plans and pick probe columns by bucket cardinality
+  /// (DESIGN.md §2.3). Results are bit-identical either way; disable to
+  /// fall back to the legacy literal order (ariadne_run --no-plan).
+  bool plan_joins = true;
 };
 
 /// Result of an online run: the analytic finished (its values live in the
@@ -33,6 +37,8 @@ struct OnlineRunResult {
   QueryResult query_result;
   /// Transient provenance held in per-vertex databases at the end.
   size_t transient_bytes = 0;
+  /// Per-rule evaluator counters, merged over vertices.
+  EvalStats eval_stats;
 };
 
 /// The main entry point of the library: binds an input graph to the PQL
@@ -107,6 +113,7 @@ class Session {
     out.engine_stats = std::move(stats);
     out.query_result = program.CollectResult();
     out.transient_bytes = program.TransientBytes();
+    out.eval_stats = program.CollectEvalStats();
     return out;
   }
 
@@ -174,6 +181,7 @@ class Session {
     }
     AnalyzeOptions options;
     options.allow_transient = allow_transient;
+    options.plan_joins = options_.plan_joins;
     return Analyze(program, Catalog::Default(), UdfRegistry::Default(),
                    schema, options);
   }

@@ -30,8 +30,10 @@ ShipBundlePtr CollectImpl(const AnalyzedQuery& query, NodeQueryState& state,
       std::vector<Tuple> tuples;
       tuples.reserve(size - watermark);
       for (size_t i = watermark; i < size; ++i) {
-        const Tuple& t = rel->row(i);
-        if (!t.empty() && t[0] == self_loc) tuples.push_back(t);
+        const Relation::RowView row = rel->row_view(i);
+        if (row.size() > 0 && row.Equals(0, self_loc)) {
+          tuples.push_back(row.ToTuple());
+        }
       }
       watermark = size;
       if (!tuples.empty()) bundle.emplace_back(pred, std::move(tuples));

@@ -70,6 +70,7 @@ struct OfflineEvalStats {
   size_t peak_layer_bytes = 0;    ///< largest single materialized layer
   size_t materialized_bytes = 0;  ///< evaluation-state bytes at the end
   size_t result_tuples = 0;
+  EvalStats eval;  ///< per-rule evaluator counters, merged over vertices
 };
 
 struct OfflineRun {

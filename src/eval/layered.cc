@@ -1,7 +1,7 @@
 #include "eval/layered.h"
 
 #include <algorithm>
-#include <set>
+#include <span>
 #include <unordered_map>
 
 #include "common/timer.h"
@@ -52,6 +52,12 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
   Status Prepare() {
     states_.clear();
     states_.resize(static_cast<size_t>(graph_->num_vertices()));
+    // Adjacency fallback caches are filled lazily, each slot only by its
+    // own vertex's Compute, so sizing them here keeps the fill race-free.
+    adj_cache_.assign(3, std::vector<std::vector<VertexId>>(
+                             static_cast<size_t>(graph_->num_vertices())));
+    adj_filled_.assign(3, std::vector<uint8_t>(
+                              static_cast<size_t>(graph_->num_vertices()), 0));
     // Index the static segment once.
     static_index_.clear();
     for (const auto& slice : store_->static_data().slices) {
@@ -112,7 +118,7 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
       ShipBundlePtr bundle =
           CollectShipDeltaForRouting(*query_, st, v, routing);
       if (bundle == nullptr) continue;
-      for (VertexId target : RoutingTargets(db, v, routing)) {
+      for (VertexId target : RoutingTargets(v, routing)) {
         ctx.SendMessage(target, ShipMessage{bundle});
       }
     }
@@ -144,6 +150,14 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
       if (state.db != nullptr) bytes += state.db->TotalBytes();
     }
     return bytes;
+  }
+
+  EvalStats CollectEvalStats() const {
+    EvalStats merged;
+    for (const auto& state : states_) {
+      if (state.db != nullptr) merged.Merge(state.db->eval_stats());
+    }
+    return merged;
   }
 
   size_t peak_layer_bytes() const { return peak_layer_bytes_; }
@@ -182,27 +196,59 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
       if (slice.rel == send_rel_) {
         auto& targets = route_out_[slice.vertex];
         for (const Tuple& t : slice.tuples) {
-          if (t.size() > 1 && t[1].is_int()) targets.insert(t[1].AsInt());
+          if (t.size() > 1 && t[1].is_int()) targets.push_back(t[1].AsInt());
         }
       } else if (slice.rel == receive_rel_) {
         auto& sources = route_in_[slice.vertex];
         for (const Tuple& t : slice.tuples) {
-          if (t.size() > 1 && t[1].is_int()) sources.insert(t[1].AsInt());
+          if (t.size() > 1 && t[1].is_int()) sources.push_back(t[1].AsInt());
         }
       }
+    }
+    for (auto* index : {&route_out_, &route_in_}) {
+      for (auto& [vertex, targets] : *index) SortUnique(targets);
     }
     current_layer_step_ = layer->step;
     current_layer_bytes_ = layer->byte_size;
     return Status::OK();
   }
 
+  static void SortUnique(std::vector<VertexId>& ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+
+  /// Lazily materializes the sorted-unique adjacency list for `v` in
+  /// cache plane `plane` (0 = both directions, 1 = out, 2 = in). Each
+  /// slot is written only by its own vertex's Compute, never shared.
+  std::span<const VertexId> CachedAdjacency(int plane, VertexId v) {
+    std::vector<VertexId>& slot =
+        adj_cache_[static_cast<size_t>(plane)][static_cast<size_t>(v)];
+    uint8_t& filled =
+        adj_filled_[static_cast<size_t>(plane)][static_cast<size_t>(v)];
+    if (!filled) {
+      if (plane != 2) {
+        auto nbrs = graph_->OutNeighbors(v);
+        slot.insert(slot.end(), nbrs.begin(), nbrs.end());
+      }
+      if (plane != 1) {
+        auto nbrs = graph_->InNeighbors(v);
+        slot.insert(slot.end(), nbrs.begin(), nbrs.end());
+      }
+      SortUnique(slot);
+      filled = 1;
+    }
+    return slot;
+  }
+
   /// Neighbors a ship from `v` travels to under `routing`. Message-edge
   /// routings follow the recorded send/receive records of the current
   /// layer; when the store did not capture them (custom captures), fall
   /// back to static adjacency in BOTH directions — overshipping is safe
-  /// (receivers merely hold extra copies), undershipping is not.
-  std::vector<VertexId> RoutingTargets(Database& /*db*/, VertexId v,
-                                       ShipRouting routing) {
+  /// (receivers merely hold extra copies), undershipping is not. The
+  /// returned span stays valid for the rest of the superstep (route maps
+  /// are rebuilt only between layers, adjacency caches are per vertex).
+  std::span<const VertexId> RoutingTargets(VertexId v, ShipRouting routing) {
     const bool along_messages = routing == ShipRouting::kAlongMessages ||
                                 routing == ShipRouting::kAlongReverseMessages;
     if (along_messages) {
@@ -214,20 +260,12 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
       if (rel >= 0) {
         auto it = index.find(v);
         if (it == index.end()) return {};
-        return {it->second.begin(), it->second.end()};
+        return it->second;
       }
       // Store lacks message records: conservative static fallback.
-      std::set<VertexId> unique;
-      auto out_nbrs = graph_->OutNeighbors(v);
-      auto in_nbrs = graph_->InNeighbors(v);
-      unique.insert(out_nbrs.begin(), out_nbrs.end());
-      unique.insert(in_nbrs.begin(), in_nbrs.end());
-      return {unique.begin(), unique.end()};
+      return CachedAdjacency(0, v);
     }
-    const bool out = routing == ShipRouting::kAlongOutEdges;
-    auto nbrs = out ? graph_->OutNeighbors(v) : graph_->InNeighbors(v);
-    std::set<VertexId> unique(nbrs.begin(), nbrs.end());
-    return {unique.begin(), unique.end()};
+    return CachedAdjacency(routing == ShipRouting::kAlongOutEdges ? 1 : 2, v);
   }
 
   const Graph* graph_;
@@ -246,8 +284,12 @@ class LayeredProgram final : public VertexProgram<char, ShipMessage> {
   std::vector<NodeQueryState> states_;
   std::unordered_map<VertexId, std::vector<const LayerSlice*>> static_index_;
   std::unordered_map<VertexId, std::vector<const LayerSlice*>> layer_index_;
-  std::unordered_map<VertexId, std::set<VertexId>> route_out_;
-  std::unordered_map<VertexId, std::set<VertexId>> route_in_;
+  std::unordered_map<VertexId, std::vector<VertexId>> route_out_;
+  std::unordered_map<VertexId, std::vector<VertexId>> route_in_;
+  /// Lazy sorted-unique static-adjacency fallbacks, one plane per
+  /// direction class (both / out / in), one slot per vertex.
+  std::vector<std::vector<std::vector<VertexId>>> adj_cache_;
+  std::vector<std::vector<uint8_t>> adj_filled_;
   Superstep current_layer_step_ = 0;
   size_t current_layer_bytes_ = 0;
   size_t peak_layer_bytes_ = 0;
@@ -287,6 +329,7 @@ Result<OfflineRun> LayeredEvaluator::Run() {
   run.stats.materialized_bytes =
       program.StateBytes() + program.peak_layer_bytes();
   run.stats.result_tuples = run.result.TotalTuples();
+  run.stats.eval = program.CollectEvalStats();
   return run;
 }
 

@@ -1,6 +1,7 @@
 #include "eval/naive.h"
 
-#include <set>
+#include <algorithm>
+#include <span>
 #include <unordered_map>
 
 #include "common/timer.h"
@@ -39,6 +40,12 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
   Status Prepare() {
     states_.clear();
     states_.resize(static_cast<size_t>(graph_->num_vertices()));
+    // Adjacency fallback caches are filled lazily, each slot only by its
+    // own vertex's Compute, so sizing them here keeps the fill race-free.
+    adj_cache_.assign(3, std::vector<std::vector<VertexId>>(
+                             static_cast<size_t>(graph_->num_vertices())));
+    adj_filled_.assign(3, std::vector<uint8_t>(
+                              static_cast<size_t>(graph_->num_vertices()), 0));
     auto load = [&](const Layer& layer) {
       for (const auto& slice : layer.slices) {
         // Routing indexes follow the recorded message edges even when the
@@ -46,12 +53,12 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
         if (slice.rel == send_rel_) {
           auto& targets = route_out_[slice.vertex];
           for (const Tuple& t : slice.tuples) {
-            if (t.size() > 1 && t[1].is_int()) targets.insert(t[1].AsInt());
+            if (t.size() > 1 && t[1].is_int()) targets.push_back(t[1].AsInt());
           }
         } else if (slice.rel == receive_rel_) {
           auto& sources = route_in_[slice.vertex];
           for (const Tuple& t : slice.tuples) {
-            if (t.size() > 1 && t[1].is_int()) sources.insert(t[1].AsInt());
+            if (t.size() > 1 && t[1].is_int()) sources.push_back(t[1].AsInt());
           }
         }
         const int pred = rel_to_pred_[static_cast<size_t>(slice.rel)];
@@ -65,6 +72,9 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
     for (int step = 0; step < store_->num_layers(); ++step) {
       ARIADNE_ASSIGN_OR_RETURN(const Layer* layer, store_->GetLayer(step));
       load(*layer);
+    }
+    for (auto* index : {&route_out_, &route_in_}) {
+      for (auto& [vertex, targets] : *index) SortUnique(targets);
     }
     return Status::OK();
   }
@@ -108,7 +118,7 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
           CollectShipDeltaForRouting(*query_, st, v, routing);
       if (bundle == nullptr) continue;
       progress = true;
-      for (VertexId target : RoutingTargets(db, v, routing)) {
+      for (VertexId target : RoutingTargets(v, routing)) {
         ctx.SendMessage(target, NaiveShipMessage{bundle});
       }
     }
@@ -140,15 +150,51 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
     return bytes;
   }
 
+  EvalStats CollectEvalStats() const {
+    EvalStats merged;
+    for (const auto& state : states_) {
+      if (state.db != nullptr) merged.Merge(state.db->eval_stats());
+    }
+    return merged;
+  }
+
   const Status& status() const { return first_error_; }
 
  private:
+  static void SortUnique(std::vector<VertexId>& ids) {
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  }
+
+  /// Lazily materializes the sorted-unique adjacency list for `v` in
+  /// cache plane `plane` (0 = both directions, 1 = out, 2 = in). Each
+  /// slot is written only by its own vertex's Compute, never shared.
+  std::span<const VertexId> CachedAdjacency(int plane, VertexId v) {
+    std::vector<VertexId>& slot =
+        adj_cache_[static_cast<size_t>(plane)][static_cast<size_t>(v)];
+    uint8_t& filled =
+        adj_filled_[static_cast<size_t>(plane)][static_cast<size_t>(v)];
+    if (!filled) {
+      if (plane != 2) {
+        auto nbrs = graph_->OutNeighbors(v);
+        slot.insert(slot.end(), nbrs.begin(), nbrs.end());
+      }
+      if (plane != 1) {
+        auto nbrs = graph_->InNeighbors(v);
+        slot.insert(slot.end(), nbrs.begin(), nbrs.end());
+      }
+      SortUnique(slot);
+      filled = 1;
+    }
+    return slot;
+  }
+
   /// All distinct peers over every superstep (the naive mode holds the
   /// whole unfolded graph, so ships fan out along all recorded edges).
   /// Falls back to static adjacency in both directions when the store did
-  /// not capture message records (overshipping is safe).
-  std::vector<VertexId> RoutingTargets(Database& /*db*/, VertexId v,
-                                       ShipRouting routing) {
+  /// not capture message records (overshipping is safe). Route maps are
+  /// built once in Prepare and never mutated, so spans stay valid.
+  std::span<const VertexId> RoutingTargets(VertexId v, ShipRouting routing) {
     const bool along_messages = routing == ShipRouting::kAlongMessages ||
                                 routing == ShipRouting::kAlongReverseMessages;
     if (along_messages) {
@@ -160,19 +206,11 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
       if (rel >= 0) {
         auto it = index.find(v);
         if (it == index.end()) return {};
-        return {it->second.begin(), it->second.end()};
+        return it->second;
       }
-      std::set<VertexId> unique;
-      auto out_nbrs = graph_->OutNeighbors(v);
-      auto in_nbrs = graph_->InNeighbors(v);
-      unique.insert(out_nbrs.begin(), out_nbrs.end());
-      unique.insert(in_nbrs.begin(), in_nbrs.end());
-      return {unique.begin(), unique.end()};
+      return CachedAdjacency(0, v);
     }
-    const bool out = routing == ShipRouting::kAlongOutEdges;
-    auto nbrs = out ? graph_->OutNeighbors(v) : graph_->InNeighbors(v);
-    std::set<VertexId> unique(nbrs.begin(), nbrs.end());
-    return {unique.begin(), unique.end()};
+    return CachedAdjacency(routing == ShipRouting::kAlongOutEdges ? 1 : 2, v);
   }
 
   const Graph* graph_;
@@ -182,8 +220,12 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
   std::vector<int> rel_to_pred_;
   int send_rel_ = -1, receive_rel_ = -1;
   int current_stratum_ = 0;
-  std::unordered_map<VertexId, std::set<VertexId>> route_out_;
-  std::unordered_map<VertexId, std::set<VertexId>> route_in_;
+  std::unordered_map<VertexId, std::vector<VertexId>> route_out_;
+  std::unordered_map<VertexId, std::vector<VertexId>> route_in_;
+  /// Lazy sorted-unique static-adjacency fallbacks, one plane per
+  /// direction class (both / out / in), one slot per vertex.
+  std::vector<std::vector<std::vector<VertexId>>> adj_cache_;
+  std::vector<std::vector<uint8_t>> adj_filled_;
   std::vector<NodeQueryState> states_;
   std::mutex mu_;
   Status first_error_;
@@ -217,6 +259,7 @@ Result<OfflineRun> NaiveEvaluator::Run() {
   run.stats.peak_layer_bytes = loaded_bytes;
   run.stats.materialized_bytes = program.StateBytes();
   run.stats.result_tuples = run.result.TotalTuples();
+  run.stats.eval = program.CollectEvalStats();
   return run;
 }
 

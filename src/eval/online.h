@@ -161,6 +161,15 @@ class OnlineProgram final
     return result;
   }
 
+  /// Per-rule evaluator counters, merged across all vertices.
+  EvalStats CollectEvalStats() const {
+    EvalStats merged;
+    for (const auto& state : states_) {
+      if (state.db != nullptr) merged.Merge(state.db->eval_stats());
+    }
+    return merged;
+  }
+
   /// First evaluation error encountered (OK when the run was clean).
   const Status& status() const { return first_error_; }
 
@@ -329,8 +338,10 @@ class OnlineProgram final
         std::vector<Tuple> local;
         local.reserve(size - watermark);
         for (size_t i = watermark; i < size; ++i) {
-          const Tuple& t = rel->row(i);
-          if (!t.empty() && t[0] == self_loc) local.push_back(t);
+          const Relation::RowView row = rel->row_view(i);
+          if (row.size() > 0 && row.Equals(0, self_loc)) {
+            local.push_back(row.ToTuple());
+          }
         }
         watermark = size;
         if (!local.empty()) {

@@ -1,6 +1,7 @@
 #include "pql/analysis.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <unordered_map>
 
@@ -482,6 +483,7 @@ class Analyzer {
       std::set<int> bound;
       std::vector<bool> used(rule.body.size(), false);
       rule.eval_order.clear();
+      rule.planned = options_.plan_joins;
 
       auto comparison_usable = [&](const CLiteral& cl, bool* binds,
                                    int* bind_var) {
@@ -584,9 +586,20 @@ class Analyzer {
             picked_bind_var = bind_var;
           }
         }
-        // 2. Most-bound usable positive atom.
+        // 2. Usable positive atom. Legacy: most bound argument positions
+        // wins. Planned (sideways information passing): among atoms with
+        // at least one bound column to probe on, the one introducing the
+        // fewest unbound positions wins — it has the smallest expected
+        // fan-out, so the most selective join runs earliest and later
+        // atoms see more bound columns to probe on. An atom with no bound
+        // argument is a full scan regardless of arity, so all-unbound
+        // atoms rank below any probe-able one and keep body order among
+        // themselves. Ties fall back to most-bound, then body order. Both
+        // orders are safe (any usable atom preserves range restriction)
+        // and produce identical fixpoints (set semantics).
         if (picked < 0) {
           int best_bound_args = -1;
+          int best_unbound_args = std::numeric_limits<int>::max();
           for (size_t i = 0; i < rule.body.size(); ++i) {
             if (used[i]) continue;
             const CLiteral& cl = rule.body[i];
@@ -596,8 +609,19 @@ class Analyzer {
             for (int arg : cl.args) {
               if (TermBound(rule, arg, bound)) ++n_bound;
             }
-            if (n_bound > best_bound_args) {
+            // Full scans sort after every probe-able atom, in body order.
+            const int n_unbound =
+                n_bound == 0 ? std::numeric_limits<int>::max() - 1
+                             : static_cast<int>(cl.args.size()) - n_bound;
+            const bool better =
+                options_.plan_joins
+                    ? (n_unbound < best_unbound_args ||
+                       (n_unbound == best_unbound_args &&
+                        n_bound > best_bound_args))
+                    : n_bound > best_bound_args;
+            if (better) {
               best_bound_args = n_bound;
+              best_unbound_args = n_unbound;
               picked = static_cast<int>(i);
             }
           }

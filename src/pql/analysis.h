@@ -120,6 +120,11 @@ struct CompiledRule {
   int stratum = 0;
   Direction direction = Direction::kLocal;
   bool has_aggregate = false;
+  /// Whether eval_order came from the cost-ordered planner; also enables
+  /// runtime probe-column selection by index-bucket cardinality. Off with
+  /// AnalyzeOptions::plan_joins = false (the --no-plan escape hatch),
+  /// which reproduces the legacy greedy order + first-evaluable probe.
+  bool planned = false;
   std::string source_text;  ///< pretty-printed original rule (diagnostics)
 };
 
@@ -147,6 +152,11 @@ struct AnalyzeOptions {
   /// activation (evolution / i-1 patterns); the paper's monitoring and
   /// apt queries qualify with a window of 2.
   int retain_records = 0;
+  /// Cost-ordered join planning (sideways information passing) plus
+  /// runtime probe-column choice by index-bucket cardinality. Results are
+  /// bit-identical either way (set semantics + fixpoint); false restores
+  /// the legacy greedy order for A/B comparison (--no-plan).
+  bool plan_joins = true;
 };
 
 /// A fully analyzed PQL query, ready for any evaluator.

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <array>
+#include <cstdio>
 #include <functional>
 #include <limits>
 #include <map>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/timer.h"
 
 namespace ariadne {
 
@@ -50,6 +53,54 @@ uint64_t Database::VersionSum(const std::vector<int>& preds) const {
     if (rel != nullptr) sum += rel->version();
   }
   return sum;
+}
+
+void RuleEvalStats::Merge(const RuleEvalStats& o) {
+  evaluations += o.evaluations;
+  rows_scanned += o.rows_scanned;
+  index_probes += o.index_probes;
+  probe_rows += o.probe_rows;
+  index_builds += o.index_builds;
+  delta_rescans += o.delta_rescans;
+  derived += o.derived;
+  seconds += o.seconds;
+}
+
+void EvalStats::Merge(const EvalStats& o) {
+  if (rules.size() < o.rules.size()) rules.resize(o.rules.size());
+  for (size_t i = 0; i < o.rules.size(); ++i) rules[i].Merge(o.rules[i]);
+}
+
+RuleEvalStats EvalStats::Total() const {
+  RuleEvalStats total;
+  for (const RuleEvalStats& r : rules) total.Merge(r);
+  return total;
+}
+
+std::string EvalStats::Summary(const AnalyzedQuery& query) const {
+  std::string out;
+  char line[512];
+  for (size_t i = 0; i < rules.size(); ++i) {
+    const RuleEvalStats& s = rules[i];
+    if (s.evaluations == 0) continue;
+    const char* text = i < query.rules().size()
+                           ? query.rules()[i].source_text.c_str()
+                           : "";
+    std::snprintf(line, sizeof(line),
+                  "  [r%zu] evals=%llu scanned=%llu probes=%llu "
+                  "probe-rows=%llu builds=%llu rescans=%llu derived=%llu "
+                  "%.3fs  %s\n",
+                  i, static_cast<unsigned long long>(s.evaluations),
+                  static_cast<unsigned long long>(s.rows_scanned),
+                  static_cast<unsigned long long>(s.index_probes),
+                  static_cast<unsigned long long>(s.probe_rows),
+                  static_cast<unsigned long long>(s.index_builds),
+                  static_cast<unsigned long long>(s.delta_rescans),
+                  static_cast<unsigned long long>(s.derived), s.seconds,
+                  text);
+    out += line;
+  }
+  return out;
 }
 
 namespace {
@@ -135,6 +186,22 @@ int PlainVarOf(const CompiledRule& rule, int idx) {
   return t.kind == CTerm::Kind::kVar ? t.var : -1;
 }
 
+// Uniform column access over the two row representations MatchTuple sees:
+// materialized Tuples (static edge enumeration, negated-atom grounding)
+// and borrowed Relation::RowView rows (stored relations — the hot path,
+// which must not materialize per row).
+inline bool RowColEquals(const Tuple& t, size_t i, const Value& v) {
+  return t[i] == v;
+}
+inline bool RowColEquals(const Relation::RowView& t, size_t i,
+                         const Value& v) {
+  return t.Equals(i, v);
+}
+inline Value RowColValue(const Tuple& t, size_t i) { return t[i]; }
+inline Value RowColValue(const Relation::RowView& t, size_t i) {
+  return t.value(i);
+}
+
 /// Group accumulator for aggregate rules.
 struct AggCell {
   std::unordered_set<Value, ValueHash> distinct;  // COUNT
@@ -159,10 +226,12 @@ struct GroupAccum {
 /// of the whole retained history.
 class RuleRun {
  public:
-  RuleRun(const CompiledRule& rule, EvalContext& ctx, int delta_literal,
-          size_t delta_from, PersistentAggState* persistent_agg = nullptr)
+  RuleRun(const CompiledRule& rule, EvalContext& ctx,
+          RuleEvalStats& stats, int delta_literal, size_t delta_from,
+          PersistentAggState* persistent_agg = nullptr)
       : rule_(rule),
         ctx_(ctx),
+        stats_(stats),
         env_(rule.vars.size()),
         delta_literal_(delta_literal),
         delta_from_(delta_from),
@@ -339,7 +408,11 @@ class RuleRun {
   /// Attempts to unify `tuple` with the atom's argument terms; on success
   /// recurses into Step(k+1). Newly bound variables are restored after.
   /// `unified` (when non-null) reports whether unification succeeded.
-  Status MatchTuple(const CLiteral& lit, const Tuple& tuple, size_t k,
+  /// `RowT` is Tuple or Relation::RowView; the row is only dereferenced
+  /// before the recursion, so views stay valid even when recursive rules
+  /// insert into (and reallocate) the relation the view borrows from.
+  template <typename RowT>
+  Status MatchTuple(const CLiteral& lit, const RowT& tuple, size_t k,
                     bool* unified = nullptr) {
     std::array<int, 16> trail;
     size_t trail_size = 0;
@@ -349,13 +422,14 @@ class RuleRun {
       const CTerm& term = rule_.term_pool[static_cast<size_t>(arg)];
       switch (term.kind) {
         case CTerm::Kind::kConst:
-          ok = term.constant == tuple[i];
+          ok = RowColEquals(tuple, i, term.constant);
           break;
         case CTerm::Kind::kVar:
           if (env_.bound[static_cast<size_t>(term.var)]) {
-            ok = env_.vals[static_cast<size_t>(term.var)] == tuple[i];
+            ok = RowColEquals(tuple, i,
+                              env_.vals[static_cast<size_t>(term.var)]);
           } else {
-            env_.vals[static_cast<size_t>(term.var)] = tuple[i];
+            env_.vals[static_cast<size_t>(term.var)] = RowColValue(tuple, i);
             env_.bound[static_cast<size_t>(term.var)] = 1;
             ARIADNE_CHECK(trail_size < trail.size());
             trail[trail_size++] = term.var;
@@ -363,7 +437,7 @@ class RuleRun {
           break;
         case CTerm::Kind::kArith: {
           auto v = EvalTerm(rule_, arg, env_);
-          ok = v.has_value() && *v == tuple[i];
+          ok = v.has_value() && RowColEquals(tuple, i, *v);
           break;
         }
       }
@@ -404,20 +478,24 @@ class RuleRun {
       step_v = &*step_owned;
     }
 
+    // One tuple buffer per enumeration: MatchTuple never keeps the row
+    // past its return, so refilling in place is safe and allocation-free.
+    Tuple edge_tuple;
+    edge_tuple.reserve(with_value ? 4 : 2);
     auto emit_out_edges = [&](VertexId src) -> Status {
       if (src < 0 || src >= g.num_vertices()) return Status::OK();
       auto nbrs = g.OutNeighbors(src);
       auto weights = g.OutWeights(src);
+      stats_.rows_scanned += nbrs.size();
       for (size_t i = 0; i < nbrs.size(); ++i) {
-        Tuple t;
-        t.reserve(with_value ? 4 : 2);
-        t.emplace_back(static_cast<int64_t>(src));
-        t.emplace_back(static_cast<int64_t>(nbrs[i]));
+        edge_tuple.clear();
+        edge_tuple.emplace_back(static_cast<int64_t>(src));
+        edge_tuple.emplace_back(static_cast<int64_t>(nbrs[i]));
         if (with_value) {
-          t.emplace_back(weights[i]);
-          t.push_back(*step_v);
+          edge_tuple.emplace_back(weights[i]);
+          edge_tuple.push_back(*step_v);
         }
-        ARIADNE_RETURN_NOT_OK(MatchTuple(lit, t, k));
+        ARIADNE_RETURN_NOT_OK(MatchTuple(lit, edge_tuple, k));
       }
       return Status::OK();
     };
@@ -425,16 +503,16 @@ class RuleRun {
       if (dst < 0 || dst >= g.num_vertices()) return Status::OK();
       auto nbrs = g.InNeighbors(dst);
       auto weights = g.InWeights(dst);
+      stats_.rows_scanned += nbrs.size();
       for (size_t i = 0; i < nbrs.size(); ++i) {
-        Tuple t;
-        t.reserve(with_value ? 4 : 2);
-        t.emplace_back(static_cast<int64_t>(nbrs[i]));
-        t.emplace_back(static_cast<int64_t>(dst));
+        edge_tuple.clear();
+        edge_tuple.emplace_back(static_cast<int64_t>(nbrs[i]));
+        edge_tuple.emplace_back(static_cast<int64_t>(dst));
         if (with_value) {
-          t.emplace_back(weights[i]);
-          t.push_back(*step_v);
+          edge_tuple.emplace_back(weights[i]);
+          edge_tuple.push_back(*step_v);
         }
-        ARIADNE_RETURN_NOT_OK(MatchTuple(lit, t, k));
+        ARIADNE_RETURN_NOT_OK(MatchTuple(lit, edge_tuple, k));
       }
       return Status::OK();
     };
@@ -470,55 +548,89 @@ class RuleRun {
     const size_t min_row = is_delta ? delta_from_ : 0;
     if (min_row >= rel.size()) return Status::OK();
 
-    // Prefer an indexed probe on an evaluable argument. In per-vertex
-    // mode column 0 is the location and matches every local row, so a
-    // later bound column is always more selective; fall back to column 0
-    // only when nothing else is bound (and in global mode, where the
-    // location is selective, try it first).
     int probe_col = -1;
     const Value* probe_val = nullptr;
     std::optional<Value> probe_owned;
-    const size_t first_col = ctx_.local_vertex.has_value() ? 1 : 0;
-    auto try_col = [&](size_t i) {
-      probe_val = FastTerm(rule_, lit.args[i], env_);
-      if (probe_val == nullptr && TermEvaluable(rule_, lit.args[i], env_)) {
-        probe_owned = EvalTerm(rule_, lit.args[i], env_);
-        probe_val = probe_owned ? &*probe_owned : nullptr;
+    auto eval_col = [&](size_t i, std::optional<Value>& owned) {
+      const Value* v = FastTerm(rule_, lit.args[i], env_);
+      if (v == nullptr && TermEvaluable(rule_, lit.args[i], env_)) {
+        owned = EvalTerm(rule_, lit.args[i], env_);
+        v = owned ? &*owned : nullptr;
       }
-      if (probe_val != nullptr) probe_col = static_cast<int>(i);
-      return probe_val != nullptr;
+      return v;
     };
-    for (size_t i = first_col; i < lit.args.size() && probe_col < 0; ++i) {
-      try_col(i);
+    if (rule_.planned) {
+      // Planned probe choice: among all evaluable columns, probe the one
+      // whose index bucket is smallest *right now* (ties: lowest column).
+      // Bucket cardinality subsumes the old per-vertex column-0 special
+      // case — the location column's bucket holds every local row, so a
+      // selective column always beats it when one exists.
+      size_t best_bucket = std::numeric_limits<size_t>::max();
+      for (size_t i = 0; i < lit.args.size(); ++i) {
+        std::optional<Value> owned;
+        const Value* v = eval_col(i, owned);
+        if (v == nullptr) continue;
+        if (!rel.HasIndex(static_cast<int>(i))) ++stats_.index_builds;
+        ++stats_.index_probes;
+        const size_t bucket = rel.Probe(static_cast<int>(i), *v).size();
+        if (bucket < best_bucket) {
+          best_bucket = bucket;
+          probe_col = static_cast<int>(i);
+          probe_owned = std::move(owned);
+          probe_val = probe_owned ? &*probe_owned : v;
+          if (best_bucket == 0) break;  // nothing can beat an empty bucket
+        }
+      }
+    } else {
+      // Legacy probe choice: first evaluable column wins. In per-vertex
+      // mode column 0 is the location and matches every local row, so a
+      // later bound column is always more selective; fall back to column
+      // 0 only when nothing else is bound (and in global mode, where the
+      // location is selective, try it first).
+      const size_t first_col = ctx_.local_vertex.has_value() ? 1 : 0;
+      auto try_col = [&](size_t i) {
+        probe_val = eval_col(i, probe_owned);
+        if (probe_val != nullptr) probe_col = static_cast<int>(i);
+        return probe_val != nullptr;
+      };
+      for (size_t i = first_col; i < lit.args.size() && probe_col < 0; ++i) {
+        try_col(i);
+      }
+      if (probe_col < 0 && first_col == 1) try_col(0);
+      if (probe_col >= 0) {
+        if (!rel.HasIndex(probe_col)) ++stats_.index_builds;
+        ++stats_.index_probes;
+      }
     }
-    if (probe_col < 0 && first_col == 1) try_col(0);
     const bool existential = Existential(k);
     bool unified = false;
     if (probe_col >= 0) {
+      const std::vector<uint32_t>& bucket = rel.Probe(probe_col, *probe_val);
+      stats_.probe_rows += bucket.size();
+      std::span<const uint32_t> candidates(bucket);
+      std::vector<uint32_t> snapshot;
       if (lit.pred == rule_.head_pred) {
-        // Copy: MatchTuple recursion inserts into this relation
-        // (recursive rule), which can invalidate the probe result.
-        const std::vector<uint32_t> candidates =
-            rel.Probe(probe_col, *probe_val);
-        for (uint32_t idx : candidates) {
-          if (idx < min_row) continue;
-          ARIADNE_RETURN_NOT_OK(MatchTuple(lit, rel.row(idx), k, &unified));
-          if (existential && unified) break;
-        }
-      } else {
-        const std::vector<uint32_t>& candidates =
-            rel.Probe(probe_col, *probe_val);
-        for (uint32_t idx : candidates) {
-          if (idx < min_row) continue;
-          ARIADNE_RETURN_NOT_OK(MatchTuple(lit, rel.row(idx), k, &unified));
-          if (existential && unified) break;
-        }
+        // Recursive rule: MatchTuple recursion inserts into this very
+        // relation, which can grow/rehash the bucket mid-iteration —
+        // walk a snapshot copy instead. (The copy must be local: with
+        // non-linear recursion two plan positions probe the head
+        // relation at once. Rows inserted during the walk are picked up
+        // by the enclosing fixpoint round.)
+        snapshot.assign(bucket.begin(), bucket.end());
+        candidates = snapshot;
+      }
+      for (uint32_t idx : candidates) {
+        if (idx < min_row) continue;
+        ARIADNE_RETURN_NOT_OK(
+            MatchTuple(lit, rel.row_view(idx), k, &unified));
+        if (existential && unified) break;
       }
       return Status::OK();
     }
     const size_t n = rel.size();  // snapshot: ignore tuples added mid-scan
+    stats_.rows_scanned += n - min_row;
     for (size_t i = min_row; i < n; ++i) {
-      ARIADNE_RETURN_NOT_OK(MatchTuple(lit, rel.row(i), k, &unified));
+      ARIADNE_RETURN_NOT_OK(MatchTuple(lit, rel.row_view(i), k, &unified));
       if (existential && unified) break;
     }
     return Status::OK();
@@ -631,14 +743,16 @@ class RuleRun {
       return Status::OK();
     }
 
-    Tuple t;
-    t.reserve(rule_.head.size());
+    scratch_.clear();
     for (const CHeadTerm& h : rule_.head) {
       auto v = EvalTerm(rule_, h.term, env_);
       if (!v) return Status::OK();
-      t.push_back(std::move(*v));
+      scratch_.push_back(std::move(*v));
     }
-    if (ctx_.db->Rel(rule_.head_pred).Insert(std::move(t))) derived_ = true;
+    if (ctx_.db->Rel(rule_.head_pred).Insert(scratch_)) {
+      derived_ = true;
+      ++stats_.derived;
+    }
     return Status::OK();
   }
 
@@ -782,7 +896,11 @@ class RuleRun {
 
   const CompiledRule& rule_;
   EvalContext& ctx_;
+  RuleEvalStats& stats_;
   Env env_;
+  /// Reused head-tuple buffer (Derive) — keeps the hot derivation path
+  /// free of per-tuple vector allocations.
+  Tuple scratch_;
   std::vector<size_t> order_;
   std::vector<uint8_t> existential_;
   bool derived_ = false;
@@ -820,9 +938,10 @@ bool AggregateIsIncremental(const CompiledRule& rule, EvalContext& ctx,
 /// atom, restricted to that atom's delta rows (tuples inserted since the
 /// previous evaluation). Aggregate rules and rules with no dynamic atoms
 /// run one full walk.
-Result<bool> EvalRuleSemiNaive(const CompiledRule& rule, EvalContext& ctx,
-                               std::vector<AtomWatermark>& atom_watermarks,
-                               std::unique_ptr<PersistentAggState>* agg_state) {
+Result<bool> EvalRuleSemiNaiveImpl(
+    const CompiledRule& rule, EvalContext& ctx,
+    std::vector<AtomWatermark>& atom_watermarks,
+    std::unique_ptr<PersistentAggState>* agg_state, RuleEvalStats& stats) {
   if (atom_watermarks.size() != rule.body.size()) {
     atom_watermarks.assign(rule.body.size(), AtomWatermark{});
   }
@@ -843,9 +962,11 @@ Result<bool> EvalRuleSemiNaive(const CompiledRule& rule, EvalContext& ctx,
       // Input rows were rearranged/removed: rebuild state from scratch.
       (*agg_state)->groups.clear();
       from = 0;
+      if (wm.rows > 0) ++stats.delta_rescans;
     }
     if (*agg_state == nullptr) *agg_state = std::make_unique<PersistentAggState>();
-    RuleRun run(rule, ctx, agg_driver, from, agg_state->get());
+    RuleRun run(rule, ctx, stats, agg_driver, from, agg_state->get());
+    ++stats.evaluations;
     auto result = run.RunIncrementalAggregate();
     wm.epoch = epoch;
     wm.rows = size;
@@ -865,7 +986,8 @@ Result<bool> EvalRuleSemiNaive(const CompiledRule& rule, EvalContext& ctx,
   }
   bool derived = false;
   if (drivers.empty()) {
-    RuleRun run(rule, ctx, /*delta_literal=*/-1, 0);
+    RuleRun run(rule, ctx, stats, /*delta_literal=*/-1, 0);
+    ++stats.evaluations;
     ARIADNE_ASSIGN_OR_RETURN(bool d, run.Run());
     derived = d;
   } else {
@@ -883,8 +1005,10 @@ Result<bool> EvalRuleSemiNaive(const CompiledRule& rule, EvalContext& ctx,
     for (size_t j = 0; j < drivers.size(); ++j) {
       AtomWatermark& wm = atom_watermarks[static_cast<size_t>(drivers[j])];
       const size_t from = wm.epoch == epochs[j] ? wm.rows : 0;
+      if (wm.epoch != epochs[j] && wm.rows > 0) ++stats.delta_rescans;
       if (from >= current[j]) continue;  // no new rows for this driver
-      RuleRun run(rule, ctx, drivers[j], from);
+      RuleRun run(rule, ctx, stats, drivers[j], from);
+      ++stats.evaluations;
       ARIADNE_ASSIGN_OR_RETURN(bool d, run.Run());
       derived = derived || d;
     }
@@ -895,6 +1019,17 @@ Result<bool> EvalRuleSemiNaive(const CompiledRule& rule, EvalContext& ctx,
     }
   }
   return derived;
+}
+
+Result<bool> EvalRuleSemiNaive(const CompiledRule& rule, EvalContext& ctx,
+                               std::vector<AtomWatermark>& atom_watermarks,
+                               std::unique_ptr<PersistentAggState>* agg_state,
+                               RuleEvalStats& stats) {
+  WallTimer timer;
+  auto result =
+      EvalRuleSemiNaiveImpl(rule, ctx, atom_watermarks, agg_state, stats);
+  stats.seconds += timer.ElapsedSeconds();
+  return result;
 }
 
 }  // namespace
@@ -912,6 +1047,10 @@ Result<bool> RuleEvaluator::Evaluate(EvalContext& ctx) const {
   auto& agg_states = ctx.db->agg_states();
   if (agg_states.size() != rules.size()) {
     agg_states.resize(rules.size());
+  }
+  auto& eval_stats = ctx.db->eval_stats();
+  if (eval_stats.rules.size() != rules.size()) {
+    eval_stats.rules.resize(rules.size());
   }
   bool any_new = false;
   size_t start = 0;
@@ -932,7 +1071,7 @@ Result<bool> RuleEvaluator::Evaluate(EvalContext& ctx) const {
         ARIADNE_ASSIGN_OR_RETURN(
             bool derived,
             EvalRuleSemiNaive(rules[i], ctx, atom_watermarks[i],
-                              &agg_states[i]));
+                              &agg_states[i], eval_stats.rules[i]));
         if (derived) {
           changed = true;
           any_new = true;
@@ -961,7 +1100,7 @@ void QueryResult::Merge(const AnalyzedQuery& query, const Database& db) {
       tables_.emplace_back(name, std::make_unique<Relation>(rel->arity()));
       merged = tables_.back().second.get();
     }
-    for (const Tuple& t : rel->rows()) merged->Insert(t);
+    for (size_t i = 0; i < rel->size(); ++i) merged->Insert(rel->TupleAt(i));
   }
 }
 

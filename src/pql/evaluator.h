@@ -40,6 +40,33 @@ struct PersistentAggState {
   std::map<Tuple, std::vector<PersistentAggCell>> groups;
 };
 
+/// Evaluation counters of one rule (profiling; printed by ariadne_run and
+/// reported by bench_eval_micro). Counters accumulate across evaluations
+/// of one Database; per-vertex databases are merged at collection time.
+struct RuleEvalStats {
+  uint64_t evaluations = 0;    ///< rule walks (one per driver delta)
+  uint64_t rows_scanned = 0;   ///< rows unified without an index probe
+  uint64_t index_probes = 0;   ///< column-index bucket lookups
+  uint64_t probe_rows = 0;     ///< candidate rows returned by chosen buckets
+  uint64_t index_builds = 0;   ///< lazy column-index constructions
+  uint64_t delta_rescans = 0;  ///< epoch mismatches that reset a watermark
+  uint64_t derived = 0;        ///< head tuples actually inserted
+  double seconds = 0;          ///< wall time inside this rule's evaluation
+
+  void Merge(const RuleEvalStats& o);
+};
+
+/// Per-rule evaluation profile of a query run, indexed like
+/// AnalyzedQuery::rules().
+struct EvalStats {
+  std::vector<RuleEvalStats> rules;
+
+  void Merge(const EvalStats& o);
+  RuleEvalStats Total() const;
+  /// One line per rule (counters + rule text), for ariadne_run.
+  std::string Summary(const AnalyzedQuery& query) const;
+};
+
 /// The relations of one location (per-vertex mode) or of the whole system
 /// (naive mode). Relations are created lazily; evaluation watermarks are
 /// kept here so the same RuleEvaluator can serve many Databases.
@@ -73,12 +100,18 @@ class Database {
     return agg_states_;
   }
 
+  /// Per-rule evaluation counters of this database (single-writer: each
+  /// vertex database is evaluated by one thread per superstep).
+  EvalStats& eval_stats() { return eval_stats_; }
+  const EvalStats& eval_stats() const { return eval_stats_; }
+
  private:
   const AnalyzedQuery* query_;
   std::vector<std::unique_ptr<Relation>> rels_;
   std::vector<uint64_t> rule_watermarks_;
   std::vector<std::vector<AtomWatermark>> atom_watermarks_;
   std::vector<std::unique_ptr<PersistentAggState>> agg_states_;
+  EvalStats eval_stats_;
 };
 
 /// Where and how a Database is being evaluated.

@@ -511,8 +511,9 @@ TEST_P(BackwardTraceTest, TraceEqualsReverseReachabilityOverSends) {
   const Relation* trace = run->result.Table("back-trace");
   ASSERT_NE(trace, nullptr);
   std::set<std::pair<VertexId, Superstep>> traced;
-  for (const Tuple& t : trace->rows()) {
-    traced.insert({t[0].AsInt(), static_cast<Superstep>(t[1].AsInt())});
+  for (size_t i = 0; i < trace->size(); ++i) {
+    const Relation::RowView t = trace->row_view(i);
+    traced.insert({t.AsInt(0), static_cast<Superstep>(t.AsInt(1))});
   }
   EXPECT_EQ(traced, reference);
 }

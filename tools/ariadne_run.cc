@@ -47,6 +47,7 @@ struct Args {
   std::string spill_dir;
   double mem_budget_mb = 0;  ///< meaningful with --spill-dir
   int flush_threads = 1;
+  bool plan_joins = true;  ///< --no-plan: legacy literal order and probes
 };
 
 int Usage() {
@@ -57,7 +58,7 @@ int Usage() {
                "capture-custom]\n"
                "  [--param name=value ...] [--mode online|capture]\n"
                "  [--store-out <file>] [--source V] [--iterations N]\n"
-               "  [--retention W] [--dump <table>]\n"
+               "  [--retention W] [--dump <table>] [--no-plan]\n"
                "  [--spill-dir <dir>] [--mem-budget-mb M] "
                "[--flush-threads N]\n");
   return 2;
@@ -91,7 +92,9 @@ Result<std::string> QueryText(const Args& args) {
 
 template <typename P>
 int RunWith(const Args& args, const Graph& graph, P& program) {
-  Session session(&graph);
+  SessionOptions session_options;
+  session_options.plan_joins = args.plan_joins;
+  Session session(&graph, session_options);
   auto text = QueryText(args);
   if (!text.ok()) {
     std::fprintf(stderr, "query: %s\n", text.status().ToString().c_str());
@@ -175,6 +178,11 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
     std::printf("  %-20s %zu tuple(s)\n", name.c_str(),
                 run->query_result.TupleCount(name));
   }
+  const std::string profile = run->eval_stats.Summary(*query);
+  if (!profile.empty()) {
+    std::printf("rule profile (%s):\n%s",
+                args.plan_joins ? "planned" : "no-plan", profile.c_str());
+  }
   if (!args.dump_table.empty()) {
     const Relation* rel = run->query_result.Table(args.dump_table);
     if (rel == nullptr) {
@@ -228,6 +236,8 @@ int main(int argc, char** argv) {
       args.retention = std::atoi(v);
     } else if (flag == "--dump" && (v = next())) {
       args.dump_table = v;
+    } else if (flag == "--no-plan") {
+      args.plan_joins = false;
     } else if (flag == "--spill-dir" && (v = next())) {
       args.spill_dir = v;
     } else if (flag == "--mem-budget-mb" && (v = next())) {
