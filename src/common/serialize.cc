@@ -1,7 +1,14 @@
 #include "common/serialize.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+
+#include "recovery/fault_injector.h"
 
 namespace ariadne {
 
@@ -109,12 +116,79 @@ Result<Value> BinaryReader::ReadValue() {
   return Status::ParseError("unknown Value kind tag " + std::to_string(kind));
 }
 
+namespace {
+
+/// write(2) loop handling short writes and EINTR.
+bool WriteAll(int fd, const char* data, size_t n) {
+  while (n > 0) {
+    const ssize_t written = ::write(fd, data, n);
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += written;
+    n -= static_cast<size_t>(written);
+  }
+  return true;
+}
+
+/// Best-effort fsync of the directory containing `path`, so the rename
+/// itself is durable (a crash after rename cannot resurrect the old file).
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
 Status WriteFile(const std::string& path, const std::string& data) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(data.data(), static_cast<std::streamsize>(data.size()));
-  out.flush();
-  if (!out) return Status::IOError("write failed: " + path);
+  ARIADNE_RETURN_NOT_OK(recovery::CheckFaultPoint("file-write"));
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open for write: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  auto fail = [&](const char* what) {
+    const int saved = errno;
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return Status::IOError(std::string(what) + ": " + tmp + ": " +
+                           std::strerror(saved));
+  };
+  const size_t half = data.size() / 2;
+  if (!WriteAll(fd, data.data(), half)) return fail("write failed");
+  {
+    // A kCrash rule here exits mid-write, leaving a torn *temp* file:
+    // the destination is untouched, which is the whole point.
+    Status mid = recovery::CheckFaultPoint("file-write-mid");
+    if (!mid.ok()) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return mid.WithContext("writing " + path);
+    }
+  }
+  if (!WriteAll(fd, data.data() + half, data.size() - half)) {
+    return fail("write failed");
+  }
+  if (::fsync(fd) != 0) return fail("fsync failed");
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError("close failed: " + tmp + ": " +
+                           std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    return Status::IOError("rename failed: " + tmp + " -> " + path + ": " +
+                           std::strerror(saved));
+  }
+  SyncParentDir(path);
   return Status::OK();
 }
 

@@ -63,7 +63,13 @@ class BinaryReader {
   size_t pos_ = 0;
 };
 
-/// Writes `data` to `path` atomically-enough for tests (write then flush).
+/// Writes `data` to `path` atomically: write to a temp file in the same
+/// directory, fsync, rename over `path`, fsync the directory. A crash at
+/// any instant leaves either the old complete file or the new complete
+/// file — never a torn one (crash_recovery_test proves this under
+/// injected kills). Used by every durable artifact: spill files, APV2
+/// store images, checkpoints. Fault points: "file-write" (before any
+/// byte), "file-write-mid" (halfway through the temp file).
 Status WriteFile(const std::string& path, const std::string& data);
 /// Reads the whole file at `path`.
 Result<std::string> ReadFile(const std::string& path);

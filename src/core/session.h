@@ -125,7 +125,8 @@ class Session {
       P& analytic, const AnalyzedQuery& capture_query, ProvenanceStore* store,
       int retention_window = 0,
       std::vector<typename P::ValueType>* final_values = nullptr,
-      bool use_fast_capture = true) const {
+      bool use_fast_capture = true,
+      CaptureDegradePolicy degrade_policy = CaptureDegradePolicy::kFail) const {
     ARIADNE_RETURN_NOT_OK(ValidateMode(capture_query, EvalMode::kOnline));
     if (store == nullptr) {
       return Status::InvalidArgument("capture requires a store");
@@ -134,6 +135,7 @@ class Session {
     online_options.store = store;
     online_options.retention_window = retention_window;
     online_options.disable_fast_capture = !use_fast_capture;
+    online_options.degrade_policy = degrade_policy;
     OnlineProgram<P> program(&analytic, &capture_query, graph_,
                              online_options);
     Engine<typename P::ValueType, OnlineMessage<typename P::MessageType>>
@@ -141,8 +143,27 @@ class Session {
     ARIADNE_ASSIGN_OR_RETURN(RunStats stats, engine.Run(program));
     ARIADNE_RETURN_NOT_OK(program.status());
     // Quiesce the write-behind flusher: spill files are durable and
-    // spill counters are meaningful as soon as Capture returns.
-    ARIADNE_RETURN_NOT_OK(store->Flush());
+    // spill counters are meaningful as soon as Capture returns. A
+    // degraded store drains clean by design (layers stay resident).
+    Status flushed = store->Flush();
+    stats.capture_degraded = program.capture_degraded();
+    stats.capture_degraded_at = program.capture_degraded_at();
+    if (!flushed.ok()) {
+      if (degrade_policy == CaptureDegradePolicy::kFail) return flushed;
+      // The spill failure only surfaced after the last barrier. Nothing
+      // is lost — a failed flush keeps its layer resident — so the
+      // capture content is complete; stop spilling and keep it in
+      // memory, loudly. (Queries stay answerable: MarkDegraded is only
+      // for content that was actually dropped mid-run.)
+      store->EnterStorageDegradedMode();
+      stats.capture_degraded = true;
+      if (stats.capture_degraded_at < 0) {
+        stats.capture_degraded_at = stats.supersteps;
+      }
+      ARIADNE_LOG(Warning) << "capture spill failed after the run ("
+                           << flushed.message()
+                           << "); store kept fully in memory";
+    }
     if (final_values != nullptr) {
       final_values->assign(engine.values().begin(), engine.values().end());
     }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -57,6 +58,43 @@ double AggregatorRegistry::Get(const std::string& name) const {
   auto it = slots_.find(name);
   ARIADNE_CHECK(it != slots_.end());
   return it->second.previous;
+}
+
+void AggregatorRegistry::Serialize(BinaryWriter& w) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(slots_.size());
+  for (const auto& [name, slot] : slots_) names.push_back(name);
+  std::sort(names.begin(), names.end());
+  w.WriteU64(names.size());
+  for (const std::string& name : names) {
+    const Slot& slot = slots_.at(name);
+    w.WriteString(name);
+    w.WriteU8(static_cast<uint8_t>(slot.op));
+    w.WriteDouble(slot.current);
+    w.WriteDouble(slot.previous);
+  }
+}
+
+Status AggregatorRegistry::Deserialize(BinaryReader& r) {
+  ARIADNE_ASSIGN_OR_RETURN(uint64_t n, r.ReadU64());
+  std::unordered_map<std::string, Slot> slots;
+  for (uint64_t i = 0; i < n; ++i) {
+    ARIADNE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+    ARIADNE_ASSIGN_OR_RETURN(uint8_t op, r.ReadU8());
+    if (op > static_cast<uint8_t>(AggregateOp::kMax)) {
+      return Status::ParseError("bad aggregator op tag " + std::to_string(op) +
+                                " for '" + name + "' in checkpoint");
+    }
+    Slot slot;
+    slot.op = static_cast<AggregateOp>(op);
+    ARIADNE_ASSIGN_OR_RETURN(slot.current, r.ReadDouble());
+    ARIADNE_ASSIGN_OR_RETURN(slot.previous, r.ReadDouble());
+    slots[name] = slot;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  slots_ = std::move(slots);
+  return Status::OK();
 }
 
 void AggregatorRegistry::EndSuperstep() {

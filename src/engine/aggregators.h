@@ -5,6 +5,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/serialize.h"
+#include "common/status.h"
 #include "engine/types.h"
 
 namespace ariadne {
@@ -35,6 +37,13 @@ class AggregatorRegistry {
 
   /// Superstep barrier: publishes current accumulations and resets them.
   void EndSuperstep();
+
+  /// Checkpoint support: writes every slot (sorted by name, so the bytes
+  /// are deterministic) and restores them. Deserialize replaces the whole
+  /// slot table — the program re-registers on resume, then restoration
+  /// overwrites the fresh identities with the checkpointed values.
+  void Serialize(BinaryWriter& w) const;
+  Status Deserialize(BinaryReader& r);
 
  private:
   struct Slot {

@@ -17,6 +17,8 @@
 #include "engine/types.h"
 #include "engine/vertex_program.h"
 #include "graph/graph.h"
+#include "recovery/checkpoint.h"
+#include "recovery/fault_injector.h"
 
 namespace ariadne {
 
@@ -67,6 +69,26 @@ class Engine {
     if (options_.max_supersteps < 0) {
       return Status::InvalidArgument("max_supersteps must be >= 0");
     }
+    const bool checkpointing = options_.checkpoint_every > 0;
+    if (checkpointing || options_.resume) {
+      if (options_.checkpoint_dir.empty()) {
+        return Status::InvalidArgument(
+            "checkpoint_every/resume require checkpoint_dir");
+      }
+      if constexpr (!(recovery::Checkpointable<V> &&
+                      recovery::Checkpointable<M>)) {
+        return Status::Unsupported(
+            "checkpointing is unsupported for this vertex-value/message "
+            "type combination (no CheckpointTraits specialization)");
+      } else {
+        std::string why;
+        if (!program.checkpoint_supported(&why)) {
+          return Status::Unsupported(
+              "this program cannot be checkpointed" +
+              (why.empty() ? std::string() : ": " + why));
+        }
+      }
+    }
 
     PrepareBuffers(n);
     for (VertexId v = 0; v < n; ++v) {
@@ -82,8 +104,31 @@ class Engine {
     const bool sharded = options_.routing == MessageRouting::kSharded;
 
     RunStats stats;
+    const uint64_t faults_before =
+        recovery::FaultInjector::Global().fired_count();
+    Superstep start_step = 0;
+    if (options_.resume) {
+      if constexpr (recovery::Checkpointable<V> &&
+                    recovery::Checkpointable<M>) {
+        auto resumed = ResumeFromCheckpoint(program);
+        if (resumed.ok()) {
+          start_step = resumed.value();
+          stats.resumed_from_step = start_step;
+        } else if (!resumed.status().IsNotFound()) {
+          // Corrupt or mismatched checkpoints are loud errors; only a
+          // *missing* checkpoint falls back to a fresh run (the killed
+          // process may have died before the first barrier).
+          return resumed.status();
+        }
+      }
+    }
+
     WallTimer run_timer;
-    for (Superstep step = 0; step < options_.max_supersteps; ++step) {
+    for (Superstep step = start_step; step < options_.max_supersteps;
+         ++step) {
+      // Fault point "superstep": a scripted error/throw/crash at the start
+      // of the N-th executed superstep (crash-matrix tests kill here).
+      ARIADNE_RETURN_NOT_OK(recovery::CheckFaultPoint("superstep"));
       WallTimer step_timer;
       WallTimer phase_timer;
 
@@ -140,11 +185,39 @@ class Engine {
       }
 
       std::swap(inbox_, next_inbox_);
+
+      // Checkpoint at the barrier: values, halted bitmap, the freshly
+      // swapped inbox (the messages superstep step+1 will consume),
+      // aggregators and program state — i.e. exactly the state a fresh
+      // run has at the start of superstep step+1.
+      if (checkpointing && (step + 1) % options_.checkpoint_every == 0 &&
+          !master.halt) {
+        if constexpr (recovery::Checkpointable<V> &&
+                      recovery::Checkpointable<M>) {
+          WallTimer ckpt_timer;
+          Status written = WriteCheckpoint(program, step + 1);
+          stats.checkpoint_seconds += ckpt_timer.ElapsedSeconds();
+          if (written.ok()) {
+            ++stats.checkpoints_written;
+          } else {
+            // A failed checkpoint never kills the analytic: the previous
+            // checkpoint (if any) is still intact on disk thanks to the
+            // atomic replace, and the next interval tries again.
+            ++stats.checkpoint_failures;
+            ARIADNE_LOG(Warning) << "engine: checkpoint at superstep "
+                                 << (step + 1)
+                                 << " failed: " << written.message();
+          }
+        }
+      }
+
       if (master.halt) break;
     }
     stats.halted_by_cap = stats.supersteps == options_.max_supersteps &&
                           HasPendingWork();
     stats.seconds = run_timer.ElapsedSeconds();
+    stats.injected_faults = static_cast<int64_t>(
+        recovery::FaultInjector::Global().fired_count() - faults_before);
     if (stats.dropped_messages > 0) {
       ARIADNE_LOG(Warning) << "engine: dropped " << stats.dropped_messages
                            << " message(s) addressed to out-of-range vertex "
@@ -399,8 +472,20 @@ class Engine {
   void MergePhaseSharded(const MessageCombiner<M>* combiner,
                          size_t num_chunks) {
     shard_combined_.assign(num_shards_, 0);
+    const bool injecting = recovery::InjectionArmed();
     pool_.ParallelForChunked(
         num_shards_, 1, [&](size_t, size_t s, size_t, size_t) {
+          if (injecting) {
+            // Fault point "shard-drop" (error kind only — this runs on a
+            // pool thread): the fired shard's outboxes are discarded, i.e.
+            // one shard's worth of messages is lost this superstep.
+            if (!recovery::FaultInjector::Global().Hit("shard-drop").ok()) {
+              for (size_t c = 0; c < num_chunks; ++c) {
+                outboxes_[c].shards[s].clear();
+              }
+              return;
+            }
+          }
           int64_t combined = 0;
           for (size_t c = 0; c < num_chunks; ++c) {
             for (Send& send : outboxes_[c].shards[s]) {
@@ -456,6 +541,122 @@ class Engine {
       if (ctx.voted_halt()) halted_[static_cast<size_t>(v)] = 1;
       mail.clear();
     }
+  }
+
+  /// What this run is, for checkpoint/run matching: the caller-provided
+  /// fingerprint (analytic + parameters + capture query) plus the graph
+  /// dimensions. A checkpoint whose fingerprint differs is refused.
+  std::string FingerprintString() const {
+    return options_.checkpoint_fingerprint +
+           "|v=" + std::to_string(graph_->num_vertices()) +
+           "|e=" + std::to_string(graph_->num_edges());
+  }
+
+  /// Serializes the barrier state (see Run's checkpoint call site) and
+  /// atomically replaces <checkpoint_dir>/checkpoint.bin.
+  Status WriteCheckpoint(VertexProgram<V, M>& program, Superstep next_step)
+    requires(recovery::Checkpointable<V> && recovery::Checkpointable<M>)
+  {
+    BinaryWriter body;
+    body.WriteString(FingerprintString());
+    body.WriteI64(next_step);
+    body.WriteU64(values_.size());
+    for (const V& v : values_) {
+      recovery::CheckpointTraits<V>::Write(body, v);
+    }
+    body.WriteString(std::string(halted_.begin(), halted_.end()));
+    for (const auto& box : inbox_) {
+      body.WriteU64(box.size());
+      for (const M& m : box) {
+        recovery::CheckpointTraits<M>::Write(body, m);
+      }
+    }
+    aggregators_.Serialize(body);
+    BinaryWriter program_state;
+    ARIADNE_RETURN_NOT_OK(program.SaveCheckpointState(
+        program_state, CheckpointIo{options_.checkpoint_dir}));
+    body.WriteString(program_state.MoveData());
+    return recovery::WriteCheckpointFile(options_.checkpoint_dir,
+                                         body.MoveData());
+  }
+
+  /// Restores the barrier state from <checkpoint_dir>/checkpoint.bin and
+  /// returns the superstep to start at. NotFound when no checkpoint
+  /// exists; ParseError/InvalidArgument (naming the mismatch) otherwise —
+  /// never a silent wrong resume.
+  Result<Superstep> ResumeFromCheckpoint(VertexProgram<V, M>& program)
+    requires(recovery::Checkpointable<V> && recovery::Checkpointable<M>)
+  {
+    const std::string path =
+        recovery::CheckpointPath(options_.checkpoint_dir);
+    ARIADNE_ASSIGN_OR_RETURN(
+        BinaryReader r, recovery::OpenCheckpointFile(options_.checkpoint_dir));
+    ARIADNE_ASSIGN_OR_RETURN(std::string fingerprint, r.ReadString());
+    if (fingerprint != FingerprintString()) {
+      return Status::InvalidArgument(
+          "checkpoint fingerprint mismatch in " + path + ": checkpoint is "
+          "for '" + fingerprint + "' but this run is '" +
+          FingerprintString() + "'");
+    }
+    ARIADNE_ASSIGN_OR_RETURN(int64_t next_step, r.ReadI64());
+    if (next_step <= 0 || next_step > options_.max_supersteps) {
+      return Status::ParseError("checkpoint superstep " +
+                                std::to_string(next_step) +
+                                " out of range in " + path);
+    }
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n, r.ReadU64());
+    if (n != values_.size()) {
+      return Status::ParseError(
+          "checkpoint vertex count " + std::to_string(n) + " != graph " +
+          std::to_string(values_.size()) + " in " + path);
+    }
+    for (size_t i = 0; i < n; ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(values_[i],
+                               recovery::CheckpointTraits<V>::Read(r));
+    }
+    ARIADNE_ASSIGN_OR_RETURN(std::string halted, r.ReadString());
+    if (halted.size() != n) {
+      return Status::ParseError("checkpoint halted bitmap has " +
+                                std::to_string(halted.size()) +
+                                " entries, want " + std::to_string(n) +
+                                " in " + path);
+    }
+    std::copy(halted.begin(), halted.end(), halted_.begin());
+    for (size_t i = 0; i < n; ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t count, r.ReadU64());
+      if (count > r.remaining()) {
+        return Status::ParseError(
+            "checkpoint inbox length " + std::to_string(count) +
+            " exceeds remaining bytes at offset " + std::to_string(r.pos()) +
+            " in " + path);
+      }
+      auto& box = inbox_[i];
+      box.clear();
+      box.reserve(count);
+      for (uint64_t k = 0; k < count; ++k) {
+        ARIADNE_ASSIGN_OR_RETURN(M m, recovery::CheckpointTraits<M>::Read(r));
+        box.push_back(std::move(m));
+      }
+    }
+    {
+      Status agg = aggregators_.Deserialize(r);
+      if (!agg.ok()) return agg.WithContext("reading " + path);
+    }
+    ARIADNE_ASSIGN_OR_RETURN(std::string program_state, r.ReadString());
+    if (!r.AtEnd()) {
+      return Status::ParseError(
+          "trailing bytes after checkpoint body at offset " +
+          std::to_string(r.pos()) + " in " + path);
+    }
+    BinaryReader program_reader(std::move(program_state));
+    {
+      Status loaded = program.LoadCheckpointState(
+          program_reader, CheckpointIo{options_.checkpoint_dir});
+      if (!loaded.ok()) {
+        return loaded.WithContext("restoring program state from " + path);
+      }
+    }
+    return static_cast<Superstep>(next_step);
   }
 
   bool HasPendingWork() {

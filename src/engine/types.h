@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <limits>
+#include <string>
 #include <vector>
 
 #include "graph/graph.h"
@@ -49,6 +50,34 @@ struct EngineOptions {
   /// Cuts outbox memory traffic for high-fan-in targets; the owner merge
   /// still combines across chunks.
   bool sender_side_combining = true;
+
+  // -- Checkpoint / restart (DESIGN.md §2.4) --
+
+  /// Checkpoint every N supersteps at the barrier; 0 disables (default).
+  /// Requires checkpoint_dir. The checkpoint is taken after MasterCompute
+  /// of superstep s whenever (s+1) % checkpoint_every == 0, i.e. it
+  /// describes the state a fresh run would have at the start of s+1.
+  Superstep checkpoint_every = 0;
+  /// Directory holding checkpoint.bin (atomically replaced each time).
+  std::string checkpoint_dir;
+  /// Resume from checkpoint_dir if a valid checkpoint exists; a missing
+  /// checkpoint falls back to a fresh run from superstep 0, a corrupt one
+  /// is a loud ParseError (never a silent wrong resume).
+  bool resume = false;
+  /// Free-form configuration fingerprint recorded in every checkpoint and
+  /// verified on resume, so a checkpoint from run A cannot silently resume
+  /// run B (different analytic, parameters, or capture query). The engine
+  /// adds graph dimensions on top of this string.
+  std::string checkpoint_fingerprint;
+};
+
+/// Context handed to the program checkpoint hooks (DESIGN.md §2.4).
+/// Programs with bulky append-only state (OnlineProgram's sealed layers)
+/// persist it incrementally into sidecar files under `dir` instead of
+/// re-serializing everything into every checkpoint body.
+struct CheckpointIo {
+  /// The engine's checkpoint_dir: checkpoint.bin plus program sidecars.
+  std::string dir;
 };
 
 /// Statistics for one superstep.
@@ -85,6 +114,25 @@ struct RunStats {
   double rebuild_seconds = 0.0;
   double compute_seconds = 0.0;
   double merge_seconds = 0.0;
+
+  // -- Recovery counters (DESIGN.md §2.4) --
+
+  int64_t checkpoints_written = 0;  ///< checkpoints taken this run
+  double checkpoint_seconds = 0.0;  ///< wall time spent writing them
+  /// Superstep the run resumed at, or -1 for a fresh start. A resumed run
+  /// executes supersteps [resumed_from_step, end); RunStats::supersteps
+  /// still reports the absolute superstep index reached, as if the run
+  /// had never been interrupted.
+  Superstep resumed_from_step = -1;
+  int64_t injected_faults = 0;      ///< injector rules fired during the run
+  int64_t checkpoint_failures = 0;  ///< checkpoint writes that failed (the
+                                    ///< run continues; next interval retries)
+  /// Capture was degraded mid-run (unrecoverable spill failure): the
+  /// analytic output is still exact, but the provenance image holds only
+  /// the degraded subset and layered eval refuses full-history queries
+  /// over it. capture_degraded_at is the superstep where degradation hit.
+  bool capture_degraded = false;
+  Superstep capture_degraded_at = -1;
   std::vector<SuperstepStats> steps;
 };
 

@@ -4,6 +4,8 @@
 #include <span>
 #include <string>
 
+#include "common/serialize.h"
+#include "common/status.h"
 #include "engine/aggregators.h"
 #include "engine/types.h"
 #include "graph/graph.h"
@@ -114,6 +116,43 @@ class VertexProgram {
   /// Runs on the "master" after each superstep barrier; may inspect
   /// aggregators and set `master.halt` (Giraph's MasterCompute).
   virtual void MasterCompute(MasterContext& master) { (void)master; }
+
+  // -- Checkpoint / restart hooks (DESIGN.md §2.4) --
+  //
+  // The engine snapshots vertex values, inboxes and aggregators itself;
+  // these hooks cover state the *program* keeps between supersteps.
+  // Stateless analytics (PageRank, SSSP, WCC) need nothing: the defaults
+  // say "supported, no state". Programs with state the engine cannot see
+  // either serialize it here (OnlineProgram's fast-capture path embeds
+  // the provenance store image) or override checkpoint_supported() to
+  // refuse with a clear reason.
+
+  /// False when this program cannot be checkpointed; `why` (if non-null)
+  /// receives a human-readable reason for the Unsupported error.
+  virtual bool checkpoint_supported(std::string* why = nullptr) const {
+    (void)why;
+    return true;
+  }
+
+  /// Appends program state to the checkpoint body at a barrier. Bulky
+  /// append-only state should go into sidecar files under `io.dir`
+  /// (written before checkpoint.bin references them) with only a
+  /// watermark in the body — see OnlineProgram's segments file.
+  virtual Status SaveCheckpointState(BinaryWriter& w,
+                                     const CheckpointIo& io) {
+    (void)w;
+    (void)io;
+    return Status::OK();
+  }
+
+  /// Restores state written by SaveCheckpointState. Called on resume
+  /// after RegisterAggregators and before the first resumed superstep.
+  virtual Status LoadCheckpointState(BinaryReader& r,
+                                     const CheckpointIo& io) {
+    (void)r;
+    (void)io;
+    return Status::OK();
+  }
 };
 
 }  // namespace ariadne

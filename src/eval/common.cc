@@ -1,6 +1,44 @@
 #include "eval/common.h"
 
+#include <algorithm>
+
+#include "provenance/store.h"
+
 namespace ariadne {
+
+const char* CaptureDegradePolicyToString(CaptureDegradePolicy policy) {
+  switch (policy) {
+    case CaptureDegradePolicy::kFail:
+      return "fail";
+    case CaptureDegradePolicy::kCaptureOff:
+      return "capture-off";
+    case CaptureDegradePolicy::kForwardLineage:
+      return "forward-lineage";
+  }
+  return "?";
+}
+
+Status CheckDegradedCapture(const AnalyzedQuery& query,
+                            const ProvenanceStore& store) {
+  if (!store.degraded()) return Status::OK();
+  const std::vector<int>& surviving = store.surviving_relations();
+  for (size_t r = 0; r < store.schema().size(); ++r) {
+    if (query.PredId(store.schema()[r].name) < 0) continue;  // not read
+    if (std::find(surviving.begin(), surviving.end(), static_cast<int>(r)) !=
+        surviving.end()) {
+      continue;
+    }
+    return Status::Unsupported(
+        "cannot evaluate over a degraded capture: relation '" +
+        store.schema()[r].name + "' stopped being captured at superstep " +
+        std::to_string(store.degraded_at()) +
+        (store.degraded_reason().empty()
+             ? std::string()
+             : " (" + store.degraded_reason() + ")") +
+        "; re-run capture or restrict the query to surviving relations");
+  }
+  return Status::OK();
+}
 
 void DeliverShips(Database& db, const ShipBundle& bundle) {
   for (const auto& [pred, tuples] : bundle) {

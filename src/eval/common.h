@@ -90,6 +90,33 @@ const char* EvalModeToString(EvalMode mode);
 /// needs a directed VC-compatible query; naive accepts anything.
 Status ValidateMode(const AnalyzedQuery& query, EvalMode mode);
 
+/// What capture does when spilling fails unrecoverably mid-run — the
+/// degradation ladder of DESIGN.md §2.4. The analytic's output is exact
+/// under every policy; only the captured provenance differs.
+enum class CaptureDegradePolicy {
+  /// Surface the storage error as the capture run's error (pre-recovery
+  /// behavior, and the default).
+  kFail,
+  /// Stop capturing entirely: no further layers are appended, the store
+  /// is marked degraded, RunStats::capture_degraded is set.
+  kCaptureOff,
+  /// Keep capturing only the forward-lineage skeleton (the superstep and
+  /// evolution relations) in memory; derived relations stop at the
+  /// degradation point.
+  kForwardLineage,
+};
+
+const char* CaptureDegradePolicyToString(CaptureDegradePolicy policy);
+
+/// Refusal gate for offline evaluation over a degraded capture: OK when
+/// the store is complete, or when every store relation the query reads is
+/// in the store's surviving set. Otherwise a clear Unsupported error
+/// naming the missing relation and the degradation point — a degraded
+/// store must never silently answer a full-history query.
+class ProvenanceStore;  // fwd (provenance/store.h includes this header)
+Status CheckDegradedCapture(const AnalyzedQuery& query,
+                            const ProvenanceStore& store);
+
 }  // namespace ariadne
 
 #endif  // ARIADNE_EVAL_COMMON_H_

@@ -307,6 +307,9 @@ LayeredEvaluator::LayeredEvaluator(const Graph* graph, ProvenanceStore* store,
 
 Result<OfflineRun> LayeredEvaluator::Run() {
   ARIADNE_RETURN_NOT_OK(ValidateMode(*query_, EvalMode::kLayered));
+  // A degraded capture (DESIGN.md §2.4) is missing history; refuse any
+  // query that reads a relation outside the surviving set.
+  ARIADNE_RETURN_NOT_OK(CheckDegradedCapture(*query_, *store_));
   if (store_->num_layers() == 0) {
     return Status::InvalidArgument("provenance store has no layers");
   }

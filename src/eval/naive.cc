@@ -235,6 +235,9 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
 
 Result<OfflineRun> NaiveEvaluator::Run() {
   ARIADNE_RETURN_NOT_OK(ValidateMode(*query_, EvalMode::kNaive));
+  // Same refusal as layered eval: a degraded capture must never silently
+  // answer a full-history query (DESIGN.md §2.4).
+  ARIADNE_RETURN_NOT_OK(CheckDegradedCapture(*query_, *store_));
   if (store_->num_layers() == 0) {
     return Status::InvalidArgument("provenance store has no layers");
   }

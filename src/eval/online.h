@@ -13,6 +13,8 @@
 #include "engine/vertex_program.h"
 #include "eval/common.h"
 #include "provenance/store.h"
+#include "recovery/checkpoint.h"
+#include "storage/page.h"
 
 namespace ariadne {
 
@@ -26,6 +28,80 @@ struct OnlineMessage {
   ShipBundlePtr ships;  ///< shared by all messages of one scatter
 };
 
+namespace recovery {
+
+/// Checkpoint serialization of in-flight online messages, so capture runs
+/// are engine-checkpointable. Ships serialize by content; on restore each
+/// message owns its own bundle (sharing is a memory optimization, not a
+/// semantic property). In the checkpoint-supported fast-capture path
+/// ships are always null anyway.
+template <typename M>
+  requires Checkpointable<M>
+struct CheckpointTraits<OnlineMessage<M>> {
+  static void Write(BinaryWriter& w, const OnlineMessage<M>& m) {
+    w.WriteI64(m.src);
+    CheckpointTraits<M>::Write(w, m.payload);
+    const ShipBundle* ships = m.ships.get();
+    w.WriteU64(ships == nullptr ? 0 : ships->size());
+    if (ships == nullptr) return;
+    for (const auto& [pred, tuples] : *ships) {
+      w.WriteI64(pred);
+      w.WriteU64(tuples.size());
+      for (const Tuple& t : tuples) {
+        w.WriteU64(t.size());
+        for (const Value& value : t) w.WriteValue(value);
+      }
+    }
+  }
+
+  static Result<OnlineMessage<M>> Read(BinaryReader& r) {
+    OnlineMessage<M> m;
+    ARIADNE_ASSIGN_OR_RETURN(int64_t src, r.ReadI64());
+    m.src = static_cast<VertexId>(src);
+    ARIADNE_ASSIGN_OR_RETURN(m.payload, CheckpointTraits<M>::Read(r));
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n_rels, r.ReadU64());
+    if (n_rels == 0) return m;
+    if (n_rels > r.remaining() / 16) {
+      return Status::ParseError("ship bundle relation count " +
+                                std::to_string(n_rels) +
+                                " exceeds remaining checkpoint bytes");
+    }
+    ShipBundle bundle;
+    bundle.reserve(n_rels);
+    for (uint64_t k = 0; k < n_rels; ++k) {
+      ARIADNE_ASSIGN_OR_RETURN(int64_t pred, r.ReadI64());
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t n_tuples, r.ReadU64());
+      if (n_tuples > r.remaining() / 8) {
+        return Status::ParseError("ship bundle tuple count " +
+                                  std::to_string(n_tuples) +
+                                  " exceeds remaining checkpoint bytes");
+      }
+      std::vector<Tuple> tuples;
+      tuples.reserve(n_tuples);
+      for (uint64_t i = 0; i < n_tuples; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(uint64_t arity, r.ReadU64());
+        if (arity > r.remaining()) {
+          return Status::ParseError(
+              "ship tuple arity " + std::to_string(arity) +
+              " exceeds remaining checkpoint bytes");
+        }
+        Tuple t;
+        t.reserve(arity);
+        for (uint64_t c = 0; c < arity; ++c) {
+          ARIADNE_ASSIGN_OR_RETURN(Value value, r.ReadValue());
+          t.push_back(std::move(value));
+        }
+        tuples.push_back(std::move(t));
+      }
+      bundle.emplace_back(static_cast<int>(pred), std::move(tuples));
+    }
+    m.ships = std::make_shared<const ShipBundle>(std::move(bundle));
+    return m;
+  }
+};
+
+}  // namespace recovery
+
 struct OnlineOptions {
   /// Persist derived relations (plus the superstep/evolution skeleton)
   /// into `store`, layer by layer — this is capture mode (paper Fig 1a).
@@ -37,6 +113,10 @@ struct OnlineOptions {
   /// Disable the compiled projection fast path for capture queries and
   /// interpret them like any other query (ablation / fair comparisons).
   bool disable_fast_capture = false;
+  /// What to do when the store reports an unrecoverable append/spill
+  /// failure mid-run (DESIGN.md §2.4). Anything but kFail keeps the
+  /// analytic alive and degrades the capture instead.
+  CaptureDegradePolicy degrade_policy = CaptureDegradePolicy::kFail;
 };
 
 /// Wraps an unmodified analytic `P` and evaluates a forward PQL query in
@@ -98,6 +178,12 @@ class OnlineProgram final
     last_active_.assign(static_cast<size_t>(graph_->num_vertices()), -1);
     current_layer_ = Layer{};
     first_error_ = Status::OK();
+    capture_degraded_ = false;
+    capture_degraded_at_ = -1;
+    capture_off_ = false;
+    forward_lineage_only_ = false;
+    checkpointed_layers_ = 0;
+    segments_valid_bytes_ = 0;
     if (options_.store != nullptr) ProjectStaticCapture();
   }
 
@@ -114,8 +200,16 @@ class OnlineProgram final
       // slices themselves are already deterministic because the engine
       // guarantees serial-order message delivery (DESIGN.md §2).
       sealed.Canonicalize();
+      if (capture_off_) return;  // degraded, policy = capture-off
+      if (forward_lineage_only_) StripToSkeletonLocked(&sealed);
       Status s = options_.store->AppendLayer(std::move(sealed));
-      if (!s.ok() && first_error_.ok()) first_error_ = s;
+      if (s.ok() && !capture_degraded_) {
+        // Append succeeds while the write-behind flusher still has
+        // allowance, so also poll the sticky flush error here: the
+        // barrier is where the degrade ladder can act on it.
+        s = options_.store->storage_flush_error();
+      }
+      if (!s.ok()) HandleAppendFailureLocked(master.superstep, s);
     }
   }
 
@@ -173,6 +267,11 @@ class OnlineProgram final
   /// First evaluation error encountered (OK when the run was clean).
   const Status& status() const { return first_error_; }
 
+  /// True when a storage failure downgraded the capture mid-run (the
+  /// analytic itself completed exactly; only the store is partial).
+  bool capture_degraded() const { return capture_degraded_; }
+  Superstep capture_degraded_at() const { return capture_degraded_at_; }
+
   /// Bytes held by per-vertex query databases (transient provenance).
   size_t TransientBytes() const {
     size_t bytes = 0;
@@ -180,6 +279,226 @@ class OnlineProgram final
       if (state.db != nullptr) bytes += state.db->TotalBytes();
     }
     return bytes;
+  }
+
+  // ---- Checkpoint hooks (engine barrier; no worker concurrency) ----
+
+  /// Only capture runs on the compiled fast path checkpoint: the generic
+  /// path keeps per-vertex Datalog databases with no serialization.
+  bool checkpoint_supported(std::string* why) const override {
+    if (!analytic_->checkpoint_supported(why)) return false;
+    if (options_.store == nullptr) {
+      if (why != nullptr) {
+        *why = "online query evaluation keeps per-vertex Datalog state "
+               "that does not serialize; checkpointing supports capture "
+               "runs only";
+      }
+      return false;
+    }
+    if (!query_->fast_capture().has_value() || options_.disable_fast_capture) {
+      if (why != nullptr) {
+        *why = "capture via the generic evaluation path keeps per-vertex "
+               "Datalog state; only projection-only (fast-capture) queries "
+               "support checkpointing";
+      }
+      return false;
+    }
+    return true;
+  }
+
+  /// Body layout: analytic state, last-active vector, degradation
+  /// flags (+ reason and surviving relations when degraded), the store
+  /// schema, then a watermark into the segments sidecar. The layers
+  /// themselves go to the sidecar incrementally — only layers sealed
+  /// since the previous checkpoint are encoded, so per-checkpoint cost
+  /// is O(new layers), not O(whole store). The static layer is not
+  /// checkpointed: RegisterAggregators re-projects it deterministically
+  /// on resume.
+  Status SaveCheckpointState(BinaryWriter& w,
+                             const CheckpointIo& io) override {
+    ARIADNE_RETURN_NOT_OK(analytic_->SaveCheckpointState(w, io));
+    w.WriteU64(last_active_.size());
+    for (Superstep s : last_active_) w.WriteI64(s);
+    w.WriteU8(capture_degraded_ ? 1 : 0);
+    w.WriteI64(capture_degraded_at_);
+    if (capture_degraded_) {
+      w.WriteString(options_.store->degraded_reason());
+      const std::vector<int>& surviving =
+          options_.store->surviving_relations();
+      w.WriteU64(surviving.size());
+      for (int rel : surviving) w.WriteI64(rel);
+    }
+    const auto& schema = options_.store->schema();
+    w.WriteU64(schema.size());
+    for (const auto& rel : schema) {
+      w.WriteString(rel.name);
+      w.WriteU32(static_cast<uint32_t>(rel.arity));
+    }
+    const int n_layers = options_.store->num_layers();
+    if (n_layers > checkpointed_layers_) {
+      BinaryWriter segment;
+      segment.WriteU64(static_cast<uint64_t>(n_layers - checkpointed_layers_));
+      for (int step = checkpointed_layers_; step < n_layers; ++step) {
+        auto layer = options_.store->GetLayer(step);
+        if (!layer.ok()) {
+          return layer.status().WithContext("checkpointing layer " +
+                                            std::to_string(step));
+        }
+        // Same per-layer encoding as the APV2 image (default page size),
+        // so resumed stores re-serialize byte-identically.
+        const std::vector<storage::Page> pages =
+            storage::EncodeLayer(**layer, storage::kDefaultPageSize);
+        std::string blob;
+        for (const storage::Page& page : pages) {
+          storage::SerializePage(page, &blob);
+        }
+        segment.WriteI64((*layer)->step);
+        segment.WriteU64(pages.size());
+        segment.WriteString(blob);
+      }
+      ARIADNE_ASSIGN_OR_RETURN(
+          segments_valid_bytes_,
+          recovery::AppendSegmentFile(recovery::SegmentsPath(io.dir),
+                                      segments_valid_bytes_,
+                                      segment.data()));
+      checkpointed_layers_ = n_layers;
+    }
+    w.WriteI64(checkpointed_layers_);
+    w.WriteU64(segments_valid_bytes_);
+    return Status::OK();
+  }
+
+  Status LoadCheckpointState(BinaryReader& r,
+                             const CheckpointIo& io) override {
+    ARIADNE_RETURN_NOT_OK(analytic_->LoadCheckpointState(r, io));
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n, r.ReadU64());
+    if (n != last_active_.size()) {
+      return Status::ParseError(
+          "checkpointed last-active vector covers " + std::to_string(n) +
+          " vertices, graph has " + std::to_string(last_active_.size()));
+    }
+    for (size_t i = 0; i < last_active_.size(); ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(int64_t s, r.ReadI64());
+      last_active_[i] = static_cast<Superstep>(s);
+    }
+    ARIADNE_ASSIGN_OR_RETURN(uint8_t degraded, r.ReadU8());
+    ARIADNE_ASSIGN_OR_RETURN(int64_t degraded_at, r.ReadI64());
+    std::string degraded_reason;
+    std::vector<int> surviving;
+    if (degraded != 0) {
+      ARIADNE_ASSIGN_OR_RETURN(degraded_reason, r.ReadString());
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t n_surviving, r.ReadU64());
+      if (n_surviving > r.remaining() / 8) {
+        return Status::ParseError(
+            "surviving-relation count " + std::to_string(n_surviving) +
+            " exceeds remaining checkpoint bytes");
+      }
+      for (uint64_t i = 0; i < n_surviving; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(int64_t rel, r.ReadI64());
+        surviving.push_back(static_cast<int>(rel));
+      }
+    }
+    // The ctor already registered this run's schema in the live store;
+    // a mismatch means the checkpoint belongs to a different query.
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n_rels, r.ReadU64());
+    if (n_rels != options_.store->schema().size()) {
+      return Status::ParseError(
+          "checkpointed store schema has " + std::to_string(n_rels) +
+          " relations, expected " +
+          std::to_string(options_.store->schema().size()));
+    }
+    for (uint64_t i = 0; i < n_rels; ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(std::string name, r.ReadString());
+      ARIADNE_ASSIGN_OR_RETURN(uint32_t arity, r.ReadU32());
+      const auto& live = options_.store->schema()[i];
+      if (name != live.name || static_cast<int>(arity) != live.arity) {
+        return Status::ParseError(
+            "checkpointed store relation " + std::to_string(i) + " is '" +
+            name + "/" + std::to_string(arity) + "', expected '" + live.name +
+            "/" + std::to_string(live.arity) + "'");
+      }
+    }
+    ARIADNE_ASSIGN_OR_RETURN(int64_t n_ckpt_layers, r.ReadI64());
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t valid_bytes, r.ReadU64());
+    if (options_.store->num_layers() != 0) {
+      return Status::InvalidArgument(
+          "resume requires an empty provenance store (it already holds " +
+          std::to_string(options_.store->num_layers()) + " layer(s))");
+    }
+    // Re-applying degradation before the appends keeps the replay
+    // resident-only, exactly like the degraded original.
+    capture_degraded_ = degraded != 0;
+    capture_degraded_at_ = static_cast<Superstep>(degraded_at);
+    capture_off_ = capture_degraded_ &&
+                   options_.degrade_policy == CaptureDegradePolicy::kCaptureOff;
+    forward_lineage_only_ =
+        capture_degraded_ &&
+        options_.degrade_policy == CaptureDegradePolicy::kForwardLineage;
+    if (capture_degraded_) {
+      options_.store->EnterStorageDegradedMode();
+      options_.store->MarkDegraded(capture_degraded_at_, std::move(surviving),
+                                   std::move(degraded_reason));
+    }
+    const std::string segments_path = recovery::SegmentsPath(io.dir);
+    ARIADNE_ASSIGN_OR_RETURN(
+        std::vector<std::string> segments,
+        recovery::ReadSegmentsFile(segments_path, valid_bytes));
+    int64_t appended = 0;
+    for (size_t seg = 0; seg < segments.size(); ++seg) {
+      BinaryReader sr(std::move(segments[seg]));
+      ARIADNE_ASSIGN_OR_RETURN(uint64_t n_seg_layers, sr.ReadU64());
+      // A layer costs >= 24 bytes (step + page count + blob length).
+      if (n_seg_layers > sr.remaining() / 24) {
+        return Status::ParseError(
+            "layer count " + std::to_string(n_seg_layers) +
+            " exceeds segment " + std::to_string(seg) + " of " +
+            segments_path);
+      }
+      for (uint64_t i = 0; i < n_seg_layers; ++i) {
+        ARIADNE_ASSIGN_OR_RETURN(int64_t step, sr.ReadI64());
+        ARIADNE_ASSIGN_OR_RETURN(uint64_t n_pages, sr.ReadU64());
+        ARIADNE_ASSIGN_OR_RETURN(std::string blob, sr.ReadString());
+        if (n_pages > blob.size() / storage::kPageWireHeaderBytes) {
+          return Status::ParseError(
+              "page count " + std::to_string(n_pages) +
+              " exceeds layer blob in segment " + std::to_string(seg) +
+              " of " + segments_path);
+        }
+        Layer layer;
+        layer.step = static_cast<Superstep>(step);
+        size_t offset = 0;
+        for (uint64_t p = 0; p < n_pages; ++p) {
+          auto page = storage::ParsePage(blob, &offset);
+          if (!page.ok()) {
+            return page.status().WithContext(segments_path + " (segment " +
+                                             std::to_string(seg) + ")");
+          }
+          Status decoded = storage::DecodePage(*page, &layer);
+          if (!decoded.ok()) {
+            return decoded.WithContext(segments_path + " (segment " +
+                                       std::to_string(seg) + ", page " +
+                                       std::to_string(p) + ")");
+          }
+        }
+        if (layer.step != appended) {
+          return Status::ParseError(
+              "segment " + std::to_string(seg) + " of " + segments_path +
+              " holds layer for superstep " + std::to_string(layer.step) +
+              ", expected " + std::to_string(appended));
+        }
+        ARIADNE_RETURN_NOT_OK(options_.store->AppendLayer(std::move(layer)));
+        ++appended;
+      }
+    }
+    if (appended != n_ckpt_layers) {
+      return Status::ParseError(
+          "checkpoint references " + std::to_string(n_ckpt_layers) +
+          " layer(s) but " + segments_path + " holds " +
+          std::to_string(appended));
+    }
+    checkpointed_layers_ = static_cast<int>(appended);
+    segments_valid_bytes_ = valid_bytes;
+    return Status::OK();
   }
 
  private:
@@ -358,6 +677,47 @@ class OnlineProgram final
     AppendSkeletonLocked(v, prev, step);
   }
 
+  /// Reduces a sealed layer to the forward-lineage skeleton (superstep +
+  /// evolution relations) for the kForwardLineage degraded mode.
+  void StripToSkeletonLocked(Layer* sealed) {
+    Layer skeleton;
+    skeleton.step = sealed->step;
+    for (auto& slice : sealed->slices) {
+      if (slice.rel == skeleton_superstep_rel_ ||
+          slice.rel == skeleton_evolution_rel_) {
+        skeleton.Add(slice.rel, slice.vertex, std::move(slice.tuples));
+      }
+    }
+    *sealed = std::move(skeleton);
+  }
+
+  /// The degradation ladder (DESIGN.md §2.4). The failed layer itself is
+  /// never lost: AppendLayer registers the entry before reporting a flush
+  /// error, so the store still holds complete layers up to and including
+  /// `step` — only later supersteps are degraded.
+  void HandleAppendFailureLocked(Superstep step, const Status& s) {
+    if (options_.degrade_policy == CaptureDegradePolicy::kFail ||
+        capture_degraded_) {
+      if (first_error_.ok()) first_error_ = s;
+      return;
+    }
+    capture_degraded_ = true;
+    capture_degraded_at_ = step;
+    options_.store->EnterStorageDegradedMode();
+    std::vector<int> surviving;
+    if (options_.degrade_policy == CaptureDegradePolicy::kForwardLineage) {
+      forward_lineage_only_ = true;
+      surviving = {skeleton_superstep_rel_, skeleton_evolution_rel_};
+    } else {
+      capture_off_ = true;
+    }
+    options_.store->MarkDegraded(step, surviving, s.message());
+    ARIADNE_LOG(Warning)
+        << "capture degraded at superstep " << step << " (policy "
+        << CaptureDegradePolicyToString(options_.degrade_policy)
+        << "): " << s.message();
+  }
+
   void AppendSkeletonLocked(VertexId v, Superstep prev, Superstep step) {
     const Value loc(static_cast<int64_t>(v));
     current_layer_.Add(skeleton_superstep_rel_, v,
@@ -501,6 +861,15 @@ class OnlineProgram final
   std::mutex mu_;
   Layer current_layer_;
   Status first_error_;
+  bool capture_degraded_ = false;
+  Superstep capture_degraded_at_ = -1;
+  bool capture_off_ = false;          ///< degraded, kCaptureOff
+  bool forward_lineage_only_ = false;  ///< degraded, kForwardLineage
+  /// Incremental-checkpoint watermark: layers [0, checkpointed_layers_)
+  /// are durable in the segments sidecar, whose valid prefix is
+  /// segments_valid_bytes_ long (DESIGN.md §2.4).
+  int checkpointed_layers_ = 0;
+  uint64_t segments_valid_bytes_ = 0;
 };
 
 }  // namespace ariadne

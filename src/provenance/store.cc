@@ -17,7 +17,21 @@ constexpr uint32_t kStoreMagicV2 = 0x41505632;  ///< page-compressed image
 /// [u32 magic][u32 flags][u64 fnv1a(body)].
 constexpr size_t kV2HeaderBytes = 4 + 4 + 8;
 
+/// Header flags bit 0: the image holds a *degraded* capture — the body
+/// starts with a degraded-metadata section (see SerializeToString) and
+/// layered eval refuses full-history queries over the loaded store.
+constexpr uint32_t kV2FlagDegraded = 1u;
+
 }  // namespace
+
+void ProvenanceStore::MarkDegraded(Superstep at_step,
+                                   std::vector<int> surviving_rels,
+                                   std::string reason) {
+  if (degraded()) return;  // first degradation wins; it names the cause
+  degraded_at_ = at_step;
+  surviving_rels_ = std::move(surviving_rels);
+  degraded_reason_ = std::move(reason);
+}
 
 int ProvenanceStore::AddRelation(const std::string& name, int arity) {
   const int existing = RelId(name);
@@ -91,7 +105,20 @@ int64_t ProvenanceStore::TotalTuples() const {
 }
 
 Status ProvenanceStore::SaveToFile(const std::string& path) const {
+  ARIADNE_ASSIGN_OR_RETURN(std::string image, SerializeToString());
+  return WriteFile(path, image);
+}
+
+Result<std::string> ProvenanceStore::SerializeToString() const {
   BinaryWriter body;
+  if (degraded()) {
+    // Degraded section comes first (gated by header flags bit 0), so a
+    // complete capture's image is byte-for-byte the classic APV2 layout.
+    body.WriteI64(degraded_at_);
+    body.WriteString(degraded_reason_);
+    body.WriteU64(surviving_rels_.size());
+    for (int rel : surviving_rels_) body.WriteI64(rel);
+  }
   body.WriteU64(schema_.size());
   for (const auto& rel : schema_) {
     body.WriteString(rel.name);
@@ -120,11 +147,11 @@ Status ProvenanceStore::SaveToFile(const std::string& path) const {
   }
   BinaryWriter out;
   out.WriteU32(kStoreMagicV2);
-  out.WriteU32(0);  // flags, reserved
+  out.WriteU32(degraded() ? kV2FlagDegraded : 0);
   out.WriteU64(storage::Fnv1a(body.data()));
   std::string file = out.MoveData();
   file += body.data();
-  return WriteFile(path, file);
+  return file;
 }
 
 namespace {
@@ -171,8 +198,26 @@ Result<ProvenanceStore> LoadLegacyV1(BinaryReader& reader,
   return store;
 }
 
-Result<ProvenanceStore> LoadV2(BinaryReader& reader, const std::string& path) {
+Result<ProvenanceStore> LoadV2(BinaryReader& reader, const std::string& path,
+                               bool degraded) {
   ProvenanceStore store;
+  if (degraded) {
+    ARIADNE_ASSIGN_OR_RETURN(int64_t at_step, reader.ReadI64());
+    ARIADNE_ASSIGN_OR_RETURN(std::string reason, reader.ReadString());
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n_surviving, reader.ReadU64());
+    if (at_step < 0 || n_surviving > reader.remaining() / 8) {
+      return Status::ParseError("bad degraded-capture section in " + path +
+                                " at offset " + std::to_string(reader.pos()));
+    }
+    std::vector<int> surviving;
+    surviving.reserve(n_surviving);
+    for (uint64_t i = 0; i < n_surviving; ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(int64_t rel, reader.ReadI64());
+      surviving.push_back(static_cast<int>(rel));
+    }
+    store.MarkDegraded(static_cast<Superstep>(at_step), std::move(surviving),
+                       std::move(reason));
+  }
   ARIADNE_ASSIGN_OR_RETURN(uint64_t n_rels, reader.ReadU64());
   if (n_rels > reader.remaining() / 12) {
     return Status::ParseError("relation count " + std::to_string(n_rels) +
@@ -245,8 +290,13 @@ Result<ProvenanceStore> ProvenanceStore::LoadFromFile(
     if (!read.ok()) return read.status();
     data = std::move(read).value();
   }
+  return LoadFromBytes(std::move(data), path);
+}
+
+Result<ProvenanceStore> ProvenanceStore::LoadFromBytes(
+    std::string data, const std::string& origin) {
   if (data.size() < 4) {
-    return Status::ParseError("truncated provenance store file " + path +
+    return Status::ParseError("truncated provenance store image " + origin +
                               " (" + std::to_string(data.size()) + " bytes)");
   }
   uint32_t magic;
@@ -254,32 +304,34 @@ Result<ProvenanceStore> ProvenanceStore::LoadFromFile(
   if (magic == kStoreMagicV1) {
     BinaryReader reader(std::move(data));
     (void)reader.ReadU32();  // magic, just validated
-    return LoadLegacyV1(reader, path);
+    return LoadLegacyV1(reader, origin);
   }
   if (magic != kStoreMagicV2) {
-    return Status::ParseError("bad provenance store magic in " + path);
+    return Status::ParseError("bad provenance store magic in " + origin);
   }
   if (data.size() < kV2HeaderBytes) {
-    return Status::ParseError("truncated provenance store header in " + path);
+    return Status::ParseError("truncated provenance store header in " +
+                              origin);
   }
   uint32_t flags;
   std::memcpy(&flags, data.data() + 4, sizeof(flags));
-  if (flags != 0) {
+  if ((flags & ~kV2FlagDegraded) != 0) {
     return Status::ParseError("unsupported provenance store flags " +
-                              std::to_string(flags) + " in " + path);
+                              std::to_string(flags) + " in " + origin);
   }
   uint64_t checksum;
   std::memcpy(&checksum, data.data() + 8, sizeof(checksum));
   const uint64_t actual = storage::Fnv1a(
       std::string_view(data).substr(kV2HeaderBytes));
   if (actual != checksum) {
-    return Status::ParseError("provenance store checksum mismatch in " + path);
+    return Status::ParseError("provenance store checksum mismatch in " +
+                              origin);
   }
   BinaryReader reader(std::move(data));
   (void)reader.ReadU32();  // magic
   (void)reader.ReadU32();  // flags
   (void)reader.ReadU64();  // checksum, just verified
-  return LoadV2(reader, path);
+  return LoadV2(reader, origin, (flags & kV2FlagDegraded) != 0);
 }
 
 }  // namespace ariadne

@@ -107,6 +107,34 @@ class ProvenanceStore {
   Status SaveToFile(const std::string& path) const;
   static Result<ProvenanceStore> LoadFromFile(const std::string& path);
 
+  /// The framed APV2 image as bytes / its inverse. SaveToFile and
+  /// LoadFromFile are thin wrappers; checkpoints embed the image bytes in
+  /// the engine's program-state blob (`origin` names the byte source in
+  /// parse errors, the way LoadFromFile uses the path).
+  Result<std::string> SerializeToString() const;
+  static Result<ProvenanceStore> LoadFromBytes(std::string data,
+                                               const std::string& origin);
+
+  // ---- Degraded capture (DESIGN.md §2.4) ----
+
+  /// Records that capture stopped being complete at `at_step`: from that
+  /// superstep on, only `surviving_rels` (store relation ids; empty =
+  /// capture fully off) keep being captured. Persisted in the APV2 image
+  /// (header flags bit 0), so eval refusal survives save/load.
+  void MarkDegraded(Superstep at_step, std::vector<int> surviving_rels,
+                    std::string reason);
+  bool degraded() const { return degraded_at_ >= 0; }
+  Superstep degraded_at() const { return degraded_at_; }
+  const std::vector<int>& surviving_relations() const {
+    return surviving_rels_;
+  }
+  const std::string& degraded_reason() const { return degraded_reason_; }
+
+  /// Storage-layer half of degradation: permanently stop spilling and
+  /// keep unflushed layers resident (forwarded to LayerStore).
+  void EnterStorageDegradedMode() { layers_->EnterDegradedMode(); }
+  Status storage_flush_error() const { return layers_->flush_error(); }
+
  private:
   std::vector<StoredRelation> schema_;
   Layer static_layer_;
@@ -116,6 +144,10 @@ class ProvenanceStore {
   /// Keeps the layer returned by the last GetLayer alive (the raw-pointer
   /// contract above), independent of store eviction.
   std::shared_ptr<const Layer> loaded_;
+  /// Degraded-capture metadata; degraded_at_ < 0 means a complete capture.
+  Superstep degraded_at_ = -1;
+  std::vector<int> surviving_rels_;
+  std::string degraded_reason_;
 };
 
 }  // namespace ariadne

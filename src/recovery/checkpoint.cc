@@ -1,0 +1,179 @@
+#include "recovery/checkpoint.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "recovery/fault_injector.h"
+#include "storage/page.h"
+
+namespace ariadne::recovery {
+
+std::string CheckpointPath(const std::string& dir) {
+  return dir + "/checkpoint.bin";
+}
+
+Status WriteCheckpointFile(const std::string& dir, std::string body) {
+  ARIADNE_RETURN_NOT_OK(CheckFaultPoint("checkpoint-write"));
+  BinaryWriter out;
+  out.WriteU32(kCheckpointMagic);
+  out.WriteU32(kCheckpointVersion);
+  out.WriteU64(storage::Fnv1a(body));
+  std::string file = out.MoveData();
+  file += body;
+  // WriteFile is atomic (temp + fsync + rename): a crash mid-write leaves
+  // the previous checkpoint intact, never a torn file.
+  return WriteFile(CheckpointPath(dir), file);
+}
+
+Result<BinaryReader> OpenCheckpointFile(const std::string& dir) {
+  const std::string path = CheckpointPath(dir);
+  std::string data;
+  {
+    auto read = ReadFile(path);
+    if (!read.ok()) {
+      // Surface "no checkpoint yet" as NotFound so resume can fall back
+      // to a fresh start; any other I/O problem propagates as-is.
+      if (read.status().IsIOError()) {
+        return Status::NotFound("no checkpoint at " + path);
+      }
+      return read.status();
+    }
+    data = std::move(read).value();
+  }
+  if (data.size() < kCheckpointHeaderBytes) {
+    return Status::ParseError("truncated checkpoint header in " + path +
+                              " (" + std::to_string(data.size()) +
+                              " bytes at offset 0)");
+  }
+  uint32_t magic, version;
+  uint64_t checksum;
+  std::memcpy(&magic, data.data(), sizeof(magic));
+  std::memcpy(&version, data.data() + 4, sizeof(version));
+  std::memcpy(&checksum, data.data() + 8, sizeof(checksum));
+  if (magic != kCheckpointMagic) {
+    return Status::ParseError("bad checkpoint magic in " + path +
+                              " at offset 0");
+  }
+  if (version != kCheckpointVersion) {
+    return Status::ParseError("unsupported checkpoint version " +
+                              std::to_string(version) + " in " + path +
+                              " at offset 4");
+  }
+  const uint64_t actual =
+      storage::Fnv1a(std::string_view(data).substr(kCheckpointHeaderBytes));
+  if (actual != checksum) {
+    return Status::ParseError(
+        "checkpoint checksum mismatch in " + path + " (body at offset " +
+        std::to_string(kCheckpointHeaderBytes) + ".." +
+        std::to_string(data.size()) + " does not match header)");
+  }
+  BinaryReader reader(std::move(data));
+  (void)reader.ReadU32();  // magic
+  (void)reader.ReadU32();  // version
+  (void)reader.ReadU64();  // checksum, just verified
+  return reader;
+}
+
+std::string SegmentsPath(const std::string& dir) {
+  return dir + "/store-segments.bin";
+}
+
+namespace {
+
+constexpr size_t kSegmentFrameBytes = 8 + 8;  ///< payload length + fnv1a
+
+Status WriteAllAt(int fd, const char* data, size_t size, uint64_t offset) {
+  while (size > 0) {
+    const ssize_t n = ::pwrite(fd, data, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite: " + std::string(std::strerror(errno)));
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<uint64_t> AppendSegmentFile(const std::string& path, uint64_t offset,
+                                   const std::string& payload) {
+  ARIADNE_RETURN_NOT_OK(CheckFaultPoint("segment-write"));
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError("open " + path + ": " +
+                           std::string(std::strerror(errno)));
+  }
+  Status status = Status::OK();
+  // Drop any orphaned tail (a torn append, or segments written for a
+  // checkpoint.bin replacement that never happened) before appending.
+  if (::ftruncate(fd, static_cast<off_t>(offset)) != 0) {
+    status = Status::IOError("ftruncate " + path + ": " +
+                             std::string(std::strerror(errno)));
+  }
+  char frame[kSegmentFrameBytes];
+  const uint64_t payload_bytes = payload.size();
+  const uint64_t checksum = storage::Fnv1a(payload);
+  std::memcpy(frame, &payload_bytes, sizeof(payload_bytes));
+  std::memcpy(frame + 8, &checksum, sizeof(checksum));
+  if (status.ok()) {
+    status = WriteAllAt(fd, frame, sizeof(frame), offset);
+  }
+  if (status.ok()) {
+    status =
+        WriteAllAt(fd, payload.data(), payload.size(), offset + sizeof(frame));
+  }
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IOError("fsync " + path + ": " +
+                             std::string(std::strerror(errno)));
+  }
+  ::close(fd);
+  if (!status.ok()) return status.WithContext("appending segment to " + path);
+  return offset + sizeof(frame) + payload_bytes;
+}
+
+Result<std::vector<std::string>> ReadSegmentsFile(const std::string& path,
+                                                  uint64_t valid_bytes) {
+  std::vector<std::string> segments;
+  if (valid_bytes == 0) return segments;
+  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  if (data.size() < valid_bytes) {
+    return Status::ParseError(
+        "checkpoint references " + std::to_string(valid_bytes) +
+        " bytes of " + path + " but the file has only " +
+        std::to_string(data.size()));
+  }
+  uint64_t pos = 0;
+  while (pos < valid_bytes) {
+    if (valid_bytes - pos < kSegmentFrameBytes) {
+      return Status::ParseError("truncated segment frame in " + path +
+                                " at offset " + std::to_string(pos));
+    }
+    uint64_t payload_bytes, checksum;
+    std::memcpy(&payload_bytes, data.data() + pos, sizeof(payload_bytes));
+    std::memcpy(&checksum, data.data() + pos + 8, sizeof(checksum));
+    pos += kSegmentFrameBytes;
+    if (payload_bytes > valid_bytes - pos) {
+      return Status::ParseError(
+          "segment of " + std::to_string(payload_bytes) + " bytes in " +
+          path + " at offset " + std::to_string(pos - kSegmentFrameBytes) +
+          " exceeds the checkpoint's valid prefix");
+    }
+    std::string payload = data.substr(pos, payload_bytes);
+    if (storage::Fnv1a(payload) != checksum) {
+      return Status::ParseError("segment checksum mismatch in " + path +
+                                " at offset " +
+                                std::to_string(pos - kSegmentFrameBytes));
+    }
+    segments.push_back(std::move(payload));
+    pos += payload_bytes;
+  }
+  return segments;
+}
+
+}  // namespace ariadne::recovery

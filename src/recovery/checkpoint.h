@@ -1,0 +1,130 @@
+#ifndef ARIADNE_RECOVERY_CHECKPOINT_H_
+#define ARIADNE_RECOVERY_CHECKPOINT_H_
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/serialize.h"
+#include "common/status.h"
+
+namespace ariadne::recovery {
+
+/// Superstep-checkpoint file framing (DESIGN.md §2.4).
+///
+/// A checkpoint is one file, `<dir>/checkpoint.bin`, atomically replaced
+/// at every checkpointed barrier (write-to-temp + fsync + rename), so a
+/// crash at any instant leaves either the previous complete checkpoint or
+/// the new complete checkpoint — never a torn one. Layout:
+///
+///   [u32 magic "ACP1"][u32 version][u64 fnv1a(body)][body]
+///
+/// The body is written by the engine (Engine::WriteCheckpoint): config
+/// fingerprint, next superstep, vertex values, halted bitmap, in-flight
+/// inboxes, aggregator state, and an opaque program-state blob (for
+/// capture runs: the provenance store image + activation history, i.e.
+/// the store's durable-layer watermark travels inside the image).
+/// Loading verifies magic, version and the body checksum before any field
+/// is parsed; every parse error names the file and byte offset.
+
+inline constexpr uint32_t kCheckpointMagic = 0x31504341;  ///< "ACP1"
+inline constexpr uint32_t kCheckpointVersion = 1;
+inline constexpr size_t kCheckpointHeaderBytes = 4 + 4 + 8;
+
+/// The checkpoint file of `dir`.
+std::string CheckpointPath(const std::string& dir);
+
+/// Frames `body` (header + checksum) and atomically replaces the
+/// checkpoint file of `dir`. Fault point: "checkpoint-write".
+Status WriteCheckpointFile(const std::string& dir, std::string body);
+
+/// Opens and verifies the checkpoint of `dir`: NotFound when no
+/// checkpoint exists (callers start from superstep 0), ParseError naming
+/// file + offset on any corruption. On success the reader is positioned
+/// at the body.
+Result<BinaryReader> OpenCheckpointFile(const std::string& dir);
+
+/// The incremental program-state sidecar of `dir` (DESIGN.md §2.4).
+///
+/// Append-only file of self-framed segments, one per checkpointed
+/// barrier: [u64 payload bytes][u64 fnv1a(payload)][payload]. A
+/// checkpoint body references the file by valid-prefix length, so the
+/// write order (truncate to the referenced prefix, append, fsync, THEN
+/// atomically replace checkpoint.bin) makes every referenced prefix
+/// durable and every orphaned tail — from a crash or a failed
+/// checkpoint — harmlessly overwritten by the next append.
+std::string SegmentsPath(const std::string& dir);
+
+/// Truncates the segments file to `offset` bytes, appends one framed
+/// segment and fsyncs. Returns the new end offset (the valid-prefix
+/// length for the checkpoint body that references this segment).
+Result<uint64_t> AppendSegmentFile(const std::string& path, uint64_t offset,
+                                   const std::string& payload);
+
+/// Reads and verifies the first `valid_bytes` of the segments file,
+/// returning the segment payloads in append order. ParseError naming
+/// file + offset on truncation or checksum mismatch.
+Result<std::vector<std::string>> ReadSegmentsFile(const std::string& path,
+                                                  uint64_t valid_bytes);
+
+/// Serialization of engine state types into checkpoint bodies. The
+/// engine checkpoints runs whose vertex-value and message types have a
+/// specialization; others report Unsupported at run time (see
+/// Checkpointable below). Raw little-endian bytes, so restored doubles
+/// are bit-exact and resumed runs stay byte-identical.
+template <typename T>
+struct CheckpointTraits;
+
+template <>
+struct CheckpointTraits<double> {
+  static void Write(BinaryWriter& w, const double& v) { w.WriteDouble(v); }
+  static Result<double> Read(BinaryReader& r) { return r.ReadDouble(); }
+};
+
+template <>
+struct CheckpointTraits<int64_t> {
+  static void Write(BinaryWriter& w, const int64_t& v) { w.WriteI64(v); }
+  static Result<int64_t> Read(BinaryReader& r) { return r.ReadI64(); }
+};
+
+template <>
+struct CheckpointTraits<std::string> {
+  static void Write(BinaryWriter& w, const std::string& v) {
+    w.WriteString(v);
+  }
+  static Result<std::string> Read(BinaryReader& r) { return r.ReadString(); }
+};
+
+template <>
+struct CheckpointTraits<std::vector<double>> {
+  static void Write(BinaryWriter& w, const std::vector<double>& v) {
+    w.WriteU64(v.size());
+    for (double d : v) w.WriteDouble(d);
+  }
+  static Result<std::vector<double>> Read(BinaryReader& r) {
+    ARIADNE_ASSIGN_OR_RETURN(uint64_t n, r.ReadU64());
+    if (n > r.remaining() / sizeof(double)) {
+      return Status::ParseError("vector length " + std::to_string(n) +
+                                " exceeds remaining checkpoint bytes");
+    }
+    std::vector<double> v(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      ARIADNE_ASSIGN_OR_RETURN(v[i], r.ReadDouble());
+    }
+    return v;
+  }
+};
+
+/// True when `T` round-trips through CheckpointTraits — the compile-time
+/// gate for the engine's checkpoint path.
+template <typename T>
+concept Checkpointable = requires(BinaryWriter& w, BinaryReader& r,
+                                  const T& t) {
+  CheckpointTraits<T>::Write(w, t);
+  { CheckpointTraits<T>::Read(r) } -> std::same_as<Result<T>>;
+};
+
+}  // namespace ariadne::recovery
+
+#endif  // ARIADNE_RECOVERY_CHECKPOINT_H_

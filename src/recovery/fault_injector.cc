@@ -1,0 +1,132 @@
+#include "recovery/fault_injector.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace ariadne::recovery {
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+namespace {
+
+Result<FaultRule> ParseRule(const std::string& text) {
+  const std::vector<std::string> parts = Split(text, ':');
+  if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+    return Status::InvalidArgument(
+        "bad fault rule '" + text +
+        "' (expected point:N[+][:error|crash|throw])");
+  }
+  FaultRule rule;
+  rule.point = parts[0];
+  std::string count = parts[1];
+  if (!count.empty() && count.back() == '+') {
+    rule.persistent = true;
+    count.pop_back();
+  }
+  try {
+    size_t pos = 0;
+    const long long n = std::stoll(count, &pos);
+    if (pos != count.size() || n <= 0) throw std::invalid_argument(count);
+    rule.occurrence = static_cast<uint64_t>(n);
+  } catch (...) {
+    return Status::InvalidArgument("bad occurrence count in fault rule '" +
+                                   text + "' (want a positive integer)");
+  }
+  if (parts.size() == 3) {
+    if (parts[2] == "error") {
+      rule.kind = FaultKind::kError;
+    } else if (parts[2] == "crash") {
+      rule.kind = FaultKind::kCrash;
+    } else if (parts[2] == "throw") {
+      rule.kind = FaultKind::kThrow;
+    } else {
+      return Status::InvalidArgument("unknown fault kind '" + parts[2] +
+                                     "' in rule '" + text +
+                                     "' (want error, crash or throw)");
+    }
+  }
+  return rule;
+}
+
+}  // namespace
+
+Status FaultInjector::Arm(const std::string& scenario, uint64_t seed) {
+  std::vector<FaultRule> rules;
+  for (const std::string& part : Split(scenario, ',')) {
+    if (part.empty()) continue;
+    ARIADNE_ASSIGN_OR_RETURN(FaultRule rule, ParseRule(part));
+    rules.push_back(std::move(rule));
+  }
+  if (rules.empty()) {
+    return Status::InvalidArgument("empty fault scenario '" + scenario + "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  rules_ = std::move(rules);
+  counts_.clear();
+  fired_ = 0;
+  seed_ = seed;
+  armed_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_.store(false, std::memory_order_relaxed);
+  rules_.clear();
+  counts_.clear();
+  fired_ = 0;
+}
+
+Status FaultInjector::Hit(const char* point) {
+  if (!armed()) return Status::OK();
+  FaultKind kind = FaultKind::kError;
+  uint64_t hit = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
+    hit = ++counts_[point];
+    for (const FaultRule& rule : rules_) {
+      if (rule.point != point) continue;
+      if (hit == rule.occurrence || (rule.persistent && hit > rule.occurrence)) {
+        fire = true;
+        kind = rule.kind;
+        break;
+      }
+    }
+    if (fire && kind != FaultKind::kCrash) ++fired_;
+  }
+  if (!fire) return Status::OK();
+  const std::string what = "injected fault at point '" + std::string(point) +
+                           "' (hit " + std::to_string(hit) + ")";
+  switch (kind) {
+    case FaultKind::kError:
+      return Status::IOError(what);
+    case FaultKind::kThrow:
+      throw std::runtime_error(what);
+    case FaultKind::kCrash:
+      // A stand-in for kill -9 / power loss: no flushing, no unwinding,
+      // no atexit handlers. Crash-matrix tests assert this exit code.
+      std::_Exit(kCrashExitCode);
+  }
+  return Status::OK();
+}
+
+uint64_t FaultInjector::fired_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_;
+}
+
+uint64_t FaultInjector::HitCount(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counts_.find(point);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+}  // namespace ariadne::recovery

@@ -1,0 +1,105 @@
+#ifndef ARIADNE_RECOVERY_FAULT_INJECTOR_H_
+#define ARIADNE_RECOVERY_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ariadne::recovery {
+
+/// What happens when a scripted occurrence of a fault point fires.
+enum class FaultKind {
+  kError,  ///< the hook returns Status::IOError (transient-I/O stand-in)
+  kCrash,  ///< the process exits immediately with kCrashExitCode (kill -9
+           ///< stand-in; nothing is flushed, nothing unwinds)
+  kThrow,  ///< the hook throws std::runtime_error (vertex-program bug
+           ///< stand-in; only meaningful at points that document it)
+};
+
+/// One armed rule of a fault scenario: "the `occurrence`-th hit of
+/// `point` fires `kind`" (plus every later hit when `persistent`).
+struct FaultRule {
+  std::string point;
+  uint64_t occurrence = 1;   ///< 1-based hit index that triggers
+  bool persistent = false;   ///< also fire on every hit after `occurrence`
+  FaultKind kind = FaultKind::kError;
+};
+
+/// Deterministic, scenario-scriptable fault injection (DESIGN.md §2.4).
+///
+/// Fault *points* are named hooks compiled into the engine and storage
+/// stack (see the table in DESIGN.md §2.4); each call to Hit() increments
+/// the point's hit counter and fires when an armed rule matches. Counters
+/// are global and monotone within one armed scenario, so a scenario like
+/// "fail the 3rd flusher write" replays identically run after run (under
+/// one I/O thread; with several, hit order follows task scheduling).
+///
+/// Scenario DSL (`ariadne_run --inject`, comma-separated rules):
+///
+///   rule  := point ':' N ['+'] [':' kind]
+///   kind  := 'error' (default) | 'crash' | 'throw'
+///
+///   flusher-write:3          fail the 3rd spill-file write once (EIO)
+///   page-read:1+             every page read fails from the 1st on
+///   superstep:5:crash        _Exit at the start of superstep 4 (0-based)
+///   shard-drop:2             drop one merge shard's outbox, 2nd superstep
+///
+/// The injector is process-global (a crashed process cannot be scoped) and
+/// disarmed by default; every hook first checks a relaxed atomic, so the
+/// cost on production paths is one predictable branch.
+class FaultInjector {
+ public:
+  /// Exit code of kCrash rules, asserted by the crash-matrix tests.
+  static constexpr int kCrashExitCode = 42;
+
+  static FaultInjector& Global();
+
+  /// Parses and arms `scenario` (see DSL above), resetting all counters.
+  /// `seed` reserved for probabilistic rules; recorded for reproducibility.
+  Status Arm(const std::string& scenario, uint64_t seed = 0);
+
+  /// Disarms and clears all rules and counters.
+  void Disarm();
+
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// Fault hook: records one hit of `point` and returns the injected
+  /// error when an armed rule fires (kCrash exits the process instead,
+  /// kThrow throws). Returns OK when disarmed or no rule matches.
+  Status Hit(const char* point);
+
+  /// Total rules fired since Arm() (kError/kThrow only — kCrash never
+  /// returns).
+  uint64_t fired_count() const;
+
+  /// Hits recorded for `point` since Arm().
+  uint64_t HitCount(const std::string& point) const;
+
+ private:
+  FaultInjector() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mu_;
+  std::vector<FaultRule> rules_;
+  std::unordered_map<std::string, uint64_t> counts_;
+  uint64_t fired_ = 0;
+  uint64_t seed_ = 0;
+};
+
+/// Hot-path guard: one relaxed atomic load when disarmed.
+inline bool InjectionArmed() { return FaultInjector::Global().armed(); }
+
+/// Checks the fault point `point` iff the injector is armed.
+inline Status CheckFaultPoint(const char* point) {
+  if (!InjectionArmed()) return Status::OK();
+  return FaultInjector::Global().Hit(point);
+}
+
+}  // namespace ariadne::recovery
+
+#endif  // ARIADNE_RECOVERY_FAULT_INJECTOR_H_

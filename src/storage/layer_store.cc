@@ -3,8 +3,12 @@
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 #include <unordered_set>
 #include <utility>
+
+#include "common/random.h"
+#include "recovery/fault_injector.h"
 
 namespace ariadne::storage {
 
@@ -38,6 +42,17 @@ int64_t CountTuples(const Layer& layer) {
     n += static_cast<int64_t>(slice.tuples.size());
   }
   return n;
+}
+
+/// Sleep before retry attempt `attempt` (1-based count of attempts made
+/// so far): exponential backoff from `base_ms`, doubling per attempt,
+/// plus up to 100% seeded jitter so synchronized retries fan out.
+void BackoffSleep(int attempt, double base_ms, Rng& jitter) {
+  const double delay_ms =
+      base_ms * static_cast<double>(1u << (attempt - 1)) *
+      (1.0 + jitter.NextDouble());
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms));
 }
 
 }  // namespace
@@ -96,15 +111,17 @@ Status LayerStore::Append(std::shared_ptr<const Layer> layer) {
   entry->resident = std::move(layer);
   Entry* raw = entry.get();
   entries_.push_back(std::move(entry));
-  if (!configured_) return Status::OK();
+  // Degraded mode: the store is a plain in-memory store for new layers —
+  // no spilling, no backpressure, no sticky error.
+  if (!configured_ || degraded_) return Status::OK();
   SubmitFlushLocked(raw);
   // Write-behind with bounded lag: the barrier only waits when the
   // flusher has fallen `max_unflushed_bytes` behind.
   backpressure_cv_.wait(lock, [&] {
     return unflushed_bytes_ <= options_.max_unflushed_bytes ||
-           !first_flush_error_.ok();
+           !first_flush_error_.ok() || degraded_;
   });
-  return first_flush_error_;
+  return degraded_ ? Status::OK() : first_flush_error_;
 }
 
 void LayerStore::SubmitFlushLocked(Entry* entry) {
@@ -144,29 +161,65 @@ void LayerStore::FlushEntry(Entry* entry) {
   SerializeLayer(*layer, raw);
   const std::string path =
       options_.dir + "/layer_" + std::to_string(layer->step) + ".apg";
-  Status st = WriteFile(path, buf);
+  // Bounded retry with exponential backoff + jitter: transient I/O errors
+  // (fault point "flusher-write", or a real failed write) are retried
+  // io_max_attempts times before the flush counts as exhausted.
+  const int max_attempts = std::max(1, options_.io_max_attempts);
+  Rng jitter(options_.io_retry_seed ^
+             (0x9e3779b97f4a7c15ULL *
+              static_cast<uint64_t>(layer->step + 1)));
+  Status st;
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    st = recovery::CheckFaultPoint("flusher-write");
+    if (st.ok()) st = WriteFile(path, buf);
+    if (st.ok() || attempt == max_attempts) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.flush_retries;
+    }
+    BackoffSleep(attempt, options_.io_backoff_base_ms, jitter);
+  }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
-  std::lock_guard<std::mutex> lock(mu_);
-  entry->flush_pending = false;
-  unflushed_bytes_ -= entry->byte_size;
-  if (st.ok()) {
-    entry->file = path;
-    entry->pages = std::move(refs);
-    entry->flushed = true;
-    ++stats_.layers_flushed;
-    stats_.pages_written += pages.size();
-    stats_.compressed_bytes += page_bytes;
-    stats_.raw_serialized_bytes += raw.size();
-    stats_.flush_seconds += seconds;
-    EvictResidentsLocked();
-  } else if (first_flush_error_.ok()) {
-    first_flush_error_ =
-        st.WithContext("flushing layer " + std::to_string(layer->step));
+  bool requeue = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entry->flush_pending = false;
+    unflushed_bytes_ -= entry->byte_size;
+    if (st.ok()) {
+      entry->file = path;
+      entry->pages = std::move(refs);
+      entry->flushed = true;
+      ++stats_.layers_flushed;
+      stats_.pages_written += pages.size();
+      stats_.compressed_bytes += page_bytes;
+      stats_.raw_serialized_bytes += raw.size();
+      stats_.flush_seconds += seconds;
+      EvictResidentsLocked();
+    } else if (!degraded_ && entry->quarantines == 0) {
+      // Quarantine-and-requeue: the poisoned layer goes back on the queue
+      // once (behind any healthy flushes). Its data stays resident, so
+      // nothing is lost either way.
+      entry->quarantines = 1;
+      ++stats_.layers_quarantined;
+      entry->flush_pending = true;
+      unflushed_bytes_ += entry->byte_size;
+      requeue = true;
+    } else if (first_flush_error_.ok()) {
+      first_flush_error_ =
+          st.WithContext("flushing layer " + std::to_string(layer->step) +
+                         " (after " + std::to_string(max_attempts) +
+                         " attempts and 1 quarantine)");
+    }
   }
   backpressure_cv_.notify_all();
+  // Resubmitted outside the lock: in inline-flusher mode Submit runs the
+  // task on this stack, which would self-deadlock on mu_ otherwise.
+  if (requeue) {
+    flusher_->Submit([this, entry] { FlushEntry(entry); });
+  }
 }
 
 size_t LayerStore::DecodedBudget() const {
@@ -217,7 +270,23 @@ Result<std::shared_ptr<const Page>> LayerStore::FetchPage(const Entry& entry,
     if (auto page = cache_->Lookup(key)) return page;
   }
   const Entry::PageRef& ref = entry.pages[index];
-  auto region = ReadRegion(entry.file, ref.offset, ref.bytes);
+  // Same bounded-retry policy as the flush path (fault point "page-read").
+  const int max_attempts = std::max(1, options_.io_max_attempts);
+  Rng jitter(options_.io_retry_seed ^
+             (0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(entry.step) +
+                                       static_cast<uint64_t>(index) + 1)));
+  Result<std::string> region = std::string();
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    Status injected = recovery::CheckFaultPoint("page-read");
+    region = injected.ok() ? ReadRegion(entry.file, ref.offset, ref.bytes)
+                           : Result<std::string>(injected);
+    if (region.ok() || attempt == max_attempts) break;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.read_retries;
+    }
+    BackoffSleep(attempt, options_.io_backoff_base_ms, jitter);
+  }
   if (!region.ok()) return region.status();
   size_t offset = 0;
   auto parsed = ParsePage(*region, &offset);
@@ -350,6 +419,28 @@ Status LayerStore::Drain() {
   flusher_->Drain();
   std::lock_guard<std::mutex> lock(mu_);
   EvictResidentsLocked();
+  return degraded_ ? Status::OK() : first_flush_error_;
+}
+
+void LayerStore::EnterDegradedMode() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (degraded_) return;
+    degraded_ = true;
+    stats_.degraded = true;
+  }
+  // Unblock any Append stuck on backpressure; new Appends skip the
+  // flusher entirely, so every layer from here on stays resident.
+  backpressure_cv_.notify_all();
+}
+
+bool LayerStore::degraded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return degraded_;
+}
+
+Status LayerStore::flush_error() const {
+  std::lock_guard<std::mutex> lock(mu_);
   return first_flush_error_;
 }
 
@@ -393,6 +484,7 @@ StorageStats LayerStore::stats() const {
   {
     std::lock_guard<std::mutex> lock(mu_);
     out = stats_;
+    out.degraded = degraded_;
   }
   if (cache_) {
     const PageCacheStats cs = cache_->stats();

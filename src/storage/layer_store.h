@@ -32,6 +32,17 @@ struct LayerStoreOptions {
   /// awaiting flush exceed this (write-behind stays bounded without
   /// stalling the superstep barrier in steady state).
   size_t max_unflushed_bytes = size_t{256} << 20;
+
+  // -- Transient-I/O retry policy (DESIGN.md §2.4) --
+
+  /// Attempts per flush write / page read before the op counts as failed;
+  /// attempts beyond the first back off exponentially.
+  int io_max_attempts = 3;
+  /// Backoff before the 2nd attempt, in ms; doubles per attempt, plus a
+  /// seeded jitter in [0, 100%) of the delay.
+  double io_backoff_base_ms = 1.0;
+  /// Jitter seed (deterministic per layer/page, derived from this).
+  uint64_t io_retry_seed = 0x41524941;  // "ARIA"
 };
 
 /// Aggregate counters of the storage subsystem (flusher + page cache +
@@ -48,6 +59,13 @@ struct StorageStats {
   uint64_t prefetch_requests = 0;
   uint64_t prefetch_pages = 0;
   double flush_seconds = 0.0;  ///< cumulative wall time in flush tasks
+  /// Recovery counters (DESIGN.md §2.4): retried flush writes / page
+  /// reads (attempts beyond the first), flush-exhausted layers that were
+  /// quarantined and requeued once, and whether spilling was abandoned.
+  uint64_t flush_retries = 0;
+  uint64_t read_retries = 0;
+  uint64_t layers_quarantined = 0;
+  bool degraded = false;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -119,8 +137,21 @@ class LayerStore {
 
   /// Waits for all background writes, enforces the budget, and returns
   /// the first flush error (sticky). The spill files are durable (each
-  /// write ends in a flush) once this returns.
+  /// write ends in a flush) once this returns. In degraded mode there is
+  /// nothing outstanding and Drain returns OK.
   Status Drain();
+
+  /// Degradation escape hatch (DESIGN.md §2.4): permanently stop
+  /// spilling and keep every unflushed layer resident. Append and Drain
+  /// succeed again afterwards (the store is a plain in-memory store for
+  /// new layers); layers already on disk stay readable. Irreversible.
+  void EnterDegradedMode();
+  bool degraded() const;
+
+  /// The sticky error of the first exhausted flush; OK while the spill
+  /// path is healthy. Preserved across EnterDegradedMode so callers can
+  /// report *why* capture degraded.
+  Status flush_error() const;
 
   size_t TotalBytes() const;     ///< logical bytes, resident or spilled
   size_t InMemoryBytes() const;  ///< decoded residents + cached pages
@@ -136,6 +167,9 @@ class LayerStore {
     std::shared_ptr<const Layer> resident;
     bool flush_pending = false;
     bool flushed = false;
+    /// Times this entry's flush exhausted its retries and was requeued;
+    /// a second exhaustion makes the error sticky instead.
+    int quarantines = 0;
     std::string file;
     /// Wire location + relation of each page, in page-index order.
     struct PageRef {
@@ -161,6 +195,7 @@ class LayerStore {
   std::vector<std::unique_ptr<Entry>> entries_;
   LayerStoreOptions options_;
   bool configured_ = false;
+  bool degraded_ = false;
   size_t unflushed_bytes_ = 0;
   uint64_t use_tick_ = 0;
   Status first_flush_error_;

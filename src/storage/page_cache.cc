@@ -1,8 +1,26 @@
 #include "storage/page_cache.h"
 
+#include "recovery/fault_injector.h"
+
 namespace ariadne::storage {
 
 std::shared_ptr<const Page> PageCache::Lookup(const PageKey& key) {
+  // Fault point "cache-drop": the fired lookup behaves as if the entry
+  // was just evicted — it is removed (unless pinned) and reported as a
+  // miss, forcing the caller down the disk path.
+  if (recovery::InjectionArmed() &&
+      !recovery::FaultInjector::Global().Hit("cache-drop").ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = map_.find(key);
+    if (it != map_.end() && it->second->pin_count == 0) {
+      stats_.bytes_cached -= it->second->bytes;
+      ++stats_.evictions;
+      lru_.erase(it->second);
+      map_.erase(it);
+    }
+    ++stats_.misses;
+    return nullptr;
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {

@@ -25,6 +25,8 @@
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "core/ariadne.h"
+#include "recovery/checkpoint.h"
+#include "recovery/fault_injector.h"
 
 using namespace ariadne;
 
@@ -48,6 +50,13 @@ struct Args {
   double mem_budget_mb = 0;  ///< meaningful with --spill-dir
   int flush_threads = 1;
   bool plan_joins = true;  ///< --no-plan: legacy literal order and probes
+  std::string checkpoint_dir;
+  int checkpoint_every = 0;
+  bool resume = false;
+  std::string inject;         ///< fault scenario DSL (see fault_injector.h)
+  uint64_t inject_seed = 1;   ///< reserved for randomized scenarios
+  std::string degrade = "fail";
+  std::string values_out;     ///< binary dump of final vertex values
 };
 
 int Usage() {
@@ -60,8 +69,21 @@ int Usage() {
                "  [--store-out <file>] [--source V] [--iterations N]\n"
                "  [--retention W] [--dump <table>] [--no-plan]\n"
                "  [--spill-dir <dir>] [--mem-budget-mb M] "
-               "[--flush-threads N]\n");
+               "[--flush-threads N]\n"
+               "  [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]\n"
+               "  [--inject point:N[+][:error|throw|crash],...] "
+               "[--inject-seed S]\n"
+               "  [--degrade-policy fail|capture-off|forward-lineage]\n"
+               "  [--values-out <file>]\n");
   return 2;
+}
+
+Result<CaptureDegradePolicy> ParseDegradePolicy(const std::string& name) {
+  if (name == "fail") return CaptureDegradePolicy::kFail;
+  if (name == "capture-off") return CaptureDegradePolicy::kCaptureOff;
+  if (name == "forward-lineage") return CaptureDegradePolicy::kForwardLineage;
+  return Status::InvalidArgument("unknown degrade policy '" + name +
+                                 "' (fail|capture-off|forward-lineage)");
 }
 
 Value ParseParamValue(const std::string& text) {
@@ -90,10 +112,52 @@ Result<std::string> QueryText(const Args& args) {
   return ReadFile(args.query);
 }
 
+/// Dumps final vertex values as a deterministic binary image (the crash
+/// recovery tests compare these byte-for-byte across resumed runs).
+template <typename V>
+Status DumpValues(const std::string& path, const std::vector<V>& values) {
+  BinaryWriter w;
+  w.WriteU64(values.size());
+  if constexpr (recovery::Checkpointable<V>) {
+    for (const V& v : values) recovery::CheckpointTraits<V>::Write(w, v);
+  } else {
+    return Status::Unsupported("--values-out: value type not serializable");
+  }
+  return WriteFile(path, w.MoveData());
+}
+
+void PrintRecoveryStats(const RunStats& stats) {
+  if (stats.checkpoints_written > 0 || stats.resumed_from_step >= 0 ||
+      stats.injected_faults > 0 || stats.checkpoint_failures > 0) {
+    std::printf(
+        "recovery: %lld checkpoint(s) in %.3fs, %lld failure(s), resumed "
+        "from step %d, %lld injected fault(s)\n",
+        static_cast<long long>(stats.checkpoints_written),
+        stats.checkpoint_seconds,
+        static_cast<long long>(stats.checkpoint_failures),
+        stats.resumed_from_step,
+        static_cast<long long>(stats.injected_faults));
+  }
+  if (stats.capture_degraded) {
+    std::printf("recovery: CAPTURE DEGRADED at superstep %d\n",
+                stats.capture_degraded_at);
+  }
+}
+
 template <typename P>
 int RunWith(const Args& args, const Graph& graph, P& program) {
   SessionOptions session_options;
   session_options.plan_joins = args.plan_joins;
+  session_options.engine.checkpoint_dir = args.checkpoint_dir;
+  session_options.engine.checkpoint_every = args.checkpoint_every;
+  session_options.engine.resume = args.resume;
+  // The fingerprint ties a checkpoint to this exact run configuration;
+  // the engine appends graph dimensions itself.
+  session_options.engine.checkpoint_fingerprint =
+      args.analytic + "|" + args.query + "|mode=" + args.mode +
+      "|it=" + std::to_string(args.iterations) +
+      "|seed=" + std::to_string(args.seed) +
+      "|ret=" + std::to_string(args.retention);
   Session session(&graph, session_options);
   auto text = QueryText(args);
   if (!text.ok()) {
@@ -121,7 +185,15 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
         return 1;
       }
     }
-    auto stats = session.Capture(program, *query, &store, args.retention);
+    auto policy = ParseDegradePolicy(args.degrade);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "degrade: %s\n", policy.status().ToString().c_str());
+      return 1;
+    }
+    std::vector<typename P::ValueType> final_values;
+    auto stats = session.Capture(program, *query, &store, args.retention,
+                                 &final_values, /*use_fast_capture=*/true,
+                                 *policy);
     if (!stats.ok()) {
       std::fprintf(stderr, "capture: %s\n",
                    stats.status().ToString().c_str());
@@ -132,6 +204,7 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
                 store.num_layers(), HumanBytes(store.TotalBytes()).c_str(),
                 static_cast<long long>(store.TotalTuples()), stats->seconds,
                 stats->supersteps);
+    PrintRecoveryStats(*stats);
     if (!args.spill_dir.empty()) {
       const storage::StorageStats st = store.storage_stats();
       std::printf(
@@ -152,6 +225,23 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
           static_cast<unsigned long long>(st.cache_evictions),
           static_cast<unsigned long long>(st.pages_read),
           static_cast<unsigned long long>(st.prefetch_requests));
+      if (st.flush_retries > 0 || st.read_retries > 0 ||
+          st.layers_quarantined > 0 || st.degraded) {
+        std::printf(
+            "storage: %llu flush retries, %llu read retries, %llu layer(s) "
+            "quarantined%s\n",
+            static_cast<unsigned long long>(st.flush_retries),
+            static_cast<unsigned long long>(st.read_retries),
+            static_cast<unsigned long long>(st.layers_quarantined),
+            st.degraded ? ", DEGRADED" : "");
+      }
+    }
+    if (!args.values_out.empty()) {
+      Status dumped = DumpValues(args.values_out, final_values);
+      if (!dumped.ok()) {
+        std::fprintf(stderr, "values: %s\n", dumped.ToString().c_str());
+        return 1;
+      }
     }
     if (!args.store_out.empty()) {
       Status saved = store.SaveToFile(args.store_out);
@@ -164,7 +254,8 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
     return 0;
   }
 
-  auto run = session.RunOnline(program, *query, args.retention);
+  std::vector<typename P::ValueType> final_values;
+  auto run = session.RunOnline(program, *query, args.retention, &final_values);
   if (!run.ok()) {
     std::fprintf(stderr, "run: %s\n", run.status().ToString().c_str());
     return 1;
@@ -173,6 +264,14 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
               run->engine_stats.supersteps,
               static_cast<long long>(run->engine_stats.total_messages),
               run->engine_stats.seconds);
+  PrintRecoveryStats(run->engine_stats);
+  if (!args.values_out.empty()) {
+    Status dumped = DumpValues(args.values_out, final_values);
+    if (!dumped.ok()) {
+      std::fprintf(stderr, "values: %s\n", dumped.ToString().c_str());
+      return 1;
+    }
+  }
   std::printf("query tables:\n");
   for (const std::string& name : run->query_result.TableNames()) {
     std::printf("  %-20s %zu tuple(s)\n", name.c_str(),
@@ -244,8 +343,31 @@ int main(int argc, char** argv) {
       args.mem_budget_mb = std::atof(v);
     } else if (flag == "--flush-threads" && (v = next())) {
       args.flush_threads = std::atoi(v);
+    } else if (flag == "--checkpoint-dir" && (v = next())) {
+      args.checkpoint_dir = v;
+    } else if (flag == "--checkpoint-every" && (v = next())) {
+      args.checkpoint_every = std::atoi(v);
+    } else if (flag == "--resume") {
+      args.resume = true;
+    } else if (flag == "--inject" && (v = next())) {
+      args.inject = v;
+    } else if (flag == "--inject-seed" && (v = next())) {
+      args.inject_seed = static_cast<uint64_t>(std::atoll(v));
+    } else if (flag == "--degrade-policy" && (v = next())) {
+      args.degrade = v;
+    } else if (flag == "--values-out" && (v = next())) {
+      args.values_out = v;
     } else {
       return Usage();
+    }
+  }
+
+  if (!args.inject.empty()) {
+    Status armed =
+        recovery::FaultInjector::Global().Arm(args.inject, args.inject_seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "inject: %s\n", armed.ToString().c_str());
+      return 2;
     }
   }
 
