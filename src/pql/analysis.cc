@@ -164,28 +164,46 @@ bool TermBound(const CompiledRule& rule, int idx, const std::set<int>& bound) {
   return true;
 }
 
+/// Collects unbound $parameters of a term with their spans.
+void TermParams(const Term& term,
+                std::vector<std::pair<std::string, Span>>& out) {
+  switch (term.kind) {
+    case Term::Kind::kParameter:
+      out.emplace_back(term.name, term.span);
+      break;
+    case Term::Kind::kArith:
+      TermParams(*term.lhs, out);
+      TermParams(*term.rhs, out);
+      break;
+    default:
+      break;
+  }
+}
+
 class Analyzer {
  public:
   Analyzer(const Program& program, const Catalog& catalog,
            const UdfRegistry& udfs, const StoreSchema* store,
-           const AnalyzeOptions& options)
+           const AnalyzeOptions& options, DiagnosticSink* sink)
       : program_(program),
         catalog_(catalog),
         udfs_(udfs),
         store_(store),
-        options_(options) {}
+        options_(options),
+        sink_(sink != nullptr ? sink : &own_sink_) {}
 
   Result<AnalyzedQuery> Run() {
-    const auto unbound = program_.UnboundParameters();
-    if (!unbound.empty()) {
-      return Status::AnalysisError("unbound parameter $" + *unbound.begin());
+    bad_.assign(program_.rules.size(), false);
+    MarkParameterRules();
+    CollectHeads();
+    CompileRules();
+    if (!HasErrors()) Stratify();
+    if (!HasErrors()) PlanRules();
+    if (!HasErrors()) {
+      AnalyzeLocations();
+      CheckAggregates();
     }
-    ARIADNE_RETURN_NOT_OK(CollectHeads());
-    ARIADNE_RETURN_NOT_OK(CompileRules());
-    ARIADNE_RETURN_NOT_OK(Stratify());
-    ARIADNE_RETURN_NOT_OK(PlanRules());
-    ARIADNE_RETURN_NOT_OK(AnalyzeLocations());
-    ARIADNE_RETURN_NOT_OK(CheckAggregates());
+    if (HasErrors()) return first_error_;
     ExtractFastCapture();
 
     std::stable_sort(rules_.begin(), rules_.end(),
@@ -204,6 +222,20 @@ class Analyzer {
   }
 
  private:
+  bool HasErrors() const { return sink_->has_errors(); }
+
+  /// Emits a diagnostic with a stable code and source span, and records
+  /// the first error as the Status the legacy Result<> API returns.
+  /// `status_code` preserves the historical error category (AnalysisError
+  /// for most, Unsupported for mode/feature gaps the caller can act on).
+  Status Err(StatusCode status_code, const char* code, const Span& span,
+             std::string message) {
+    sink_->Error(code, span, message);
+    Status status(status_code, std::move(message));
+    if (first_error_.ok()) first_error_ = status;
+    return status;
+  }
+
   int FindPred(const std::string& name) const {
     for (size_t i = 0; i < preds_.size(); ++i) {
       if (preds_[i].name == name) return static_cast<int>(i);
@@ -211,14 +243,16 @@ class Analyzer {
     return -1;
   }
 
-  Result<int> AddOrGetPred(const std::string& name, int arity, EdbKind edb) {
+  Result<int> AddOrGetPred(const std::string& name, int arity, EdbKind edb,
+                           const Span& span) {
     const int existing = FindPred(name);
     if (existing >= 0) {
       PredicateInfo& info = preds_[static_cast<size_t>(existing)];
       if (info.arity != arity) {
-        return Status::AnalysisError(
-            "predicate " + name + " used with arities " +
-            std::to_string(info.arity) + " and " + std::to_string(arity));
+        return Err(StatusCode::kAnalysisError, "PQL2006", span,
+                   "predicate " + name + " used with arities " +
+                       std::to_string(info.arity) + " and " +
+                       std::to_string(arity));
       }
       return existing;
     }
@@ -230,45 +264,92 @@ class Analyzer {
     return static_cast<int>(preds_.size() - 1);
   }
 
-  Status CollectHeads() {
-    for (const Rule& rule : program_.rules) {
+  /// Reports every distinct unbound $parameter once (with the span of its
+  /// first occurrence) and marks the rules mentioning parameters as bad so
+  /// the remaining rules still compile and get linted.
+  void MarkParameterRules() {
+    std::set<std::string> reported;
+    for (size_t r = 0; r < program_.rules.size(); ++r) {
+      const Rule& rule = program_.rules[r];
+      std::vector<std::pair<std::string, Span>> params;
+      for (const HeadTerm& h : rule.head) {
+        TermParams(h.term, params);
+        TermParams(h.aggregate_arg, params);
+      }
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind == BodyLiteral::Kind::kAtom) {
+          for (const Term& t : lit.atom.args) TermParams(t, params);
+        } else {
+          TermParams(lit.comparison.lhs, params);
+          TermParams(lit.comparison.rhs, params);
+        }
+      }
+      if (params.empty()) continue;
+      bad_[r] = true;
+      for (const auto& [name, span] : params) {
+        if (!reported.insert(name).second) continue;
+        Err(StatusCode::kAnalysisError, "PQL2001", span,
+            "unbound parameter $" + name +
+                " (bind with --param or BindParameters)");
+      }
+    }
+  }
+
+  void CollectHeads() {
+    for (size_t r = 0; r < program_.rules.size(); ++r) {
+      if (bad_[r]) continue;
+      const Rule& rule = program_.rules[r];
       if (rule.head.empty()) {
-        return Status::AnalysisError("rule with empty head: " +
-                                     rule.ToString());
+        Err(StatusCode::kAnalysisError, "PQL2020", rule.name_span,
+            "rule with empty head: " + rule.ToString());
+        bad_[r] = true;
+        continue;
       }
       if (catalog_.Find(rule.head_predicate) != nullptr &&
           !options_.allow_transient) {
-        return Status::AnalysisError("cannot redefine built-in EDB " +
-                                     rule.head_predicate);
+        Err(StatusCode::kAnalysisError, "PQL2002", rule.name_span,
+            "cannot redefine built-in EDB " + rule.head_predicate);
+        bad_[r] = true;
+        continue;
       }
       if (udfs_.Find(rule.head_predicate) != nullptr) {
-        return Status::AnalysisError("cannot use UDF name as rule head: " +
-                                     rule.head_predicate);
+        Err(StatusCode::kAnalysisError, "PQL2003", rule.name_span,
+            "cannot use UDF name as rule head: " + rule.head_predicate);
+        bad_[r] = true;
+        continue;
       }
       // Capture queries may re-derive Table-1 names (paper Query 2 derives
       // `value` from `vertex-value`); outside capture, redefining catalog
       // EDBs is rejected above. Capture heads shadow the catalog entry.
       const auto* schema = catalog_.Find(rule.head_predicate);
       if (schema != nullptr && IsTransientEdb(schema->kind)) {
-        return Status::AnalysisError("cannot redefine transient EDB " +
-                                     rule.head_predicate);
+        Err(StatusCode::kAnalysisError, "PQL2004", rule.name_span,
+            "cannot redefine transient EDB " + rule.head_predicate);
+        bad_[r] = true;
+        continue;
       }
       if (schema != nullptr &&
           schema->arity != static_cast<int>(rule.head.size())) {
-        return Status::AnalysisError(
+        Err(StatusCode::kAnalysisError, "PQL2005", rule.name_span,
             "capture rule redefines " + rule.head_predicate +
-            " with wrong arity");
+                " with wrong arity (built-in arity " +
+                std::to_string(schema->arity) + ")");
+        bad_[r] = true;
+        continue;
       }
-      ARIADNE_ASSIGN_OR_RETURN(
-          int pred, AddOrGetPred(rule.head_predicate,
-                                 static_cast<int>(rule.head.size()),
-                                 EdbKind::kNone));
-      head_preds_.insert(pred);
+      auto pred = AddOrGetPred(rule.head_predicate,
+                               static_cast<int>(rule.head.size()),
+                               EdbKind::kNone, rule.name_span);
+      if (!pred.ok()) {
+        bad_[r] = true;
+        continue;
+      }
+      head_preds_.insert(*pred);
     }
-    return Status::OK();
   }
 
-  Result<int> ResolveBodyAtomPred(const AtomLiteral& atom) {
+  Result<int> ResolveBodyAtomPred(const AtomLiteral& atom,
+                                  const std::string& rule_name) {
     // Heads shadow everything (a capture query deriving `value` reads the
     // transient EDB but writes its own IDB of the same name only when the
     // name differs; same-name recursion through Table-1 names is resolved
@@ -277,38 +358,49 @@ class Analyzer {
     if (head_pred >= 0 && head_preds_.count(head_pred) > 0) {
       if (preds_[static_cast<size_t>(head_pred)].arity !=
           static_cast<int>(atom.args.size())) {
-        return Status::AnalysisError("arity mismatch for " + atom.predicate);
+        return Err(StatusCode::kAnalysisError, "PQL2006", atom.name_span,
+                   "arity mismatch for " + atom.predicate + " in rule " +
+                       rule_name + ": defined with " +
+                       std::to_string(
+                           preds_[static_cast<size_t>(head_pred)].arity) +
+                       ", used with " + std::to_string(atom.args.size()));
       }
       return head_pred;
     }
     const EdbSchema* schema = catalog_.Find(atom.predicate);
     if (schema != nullptr) {
       if (IsTransientEdb(schema->kind) && !options_.allow_transient) {
-        return Status::AnalysisError(
-            "transient predicate " + atom.predicate +
-            " is only available during online/capture evaluation");
+        return Err(StatusCode::kAnalysisError, "PQL2007", atom.name_span,
+                   "transient predicate " + atom.predicate +
+                       " is only available during online/capture evaluation");
       }
       if (schema->arity != static_cast<int>(atom.args.size())) {
-        return Status::AnalysisError(
-            "arity mismatch for " + atom.predicate + ": expected " +
-            std::to_string(schema->arity) + ", got " +
-            std::to_string(atom.args.size()));
+        return Err(StatusCode::kAnalysisError, "PQL2006", atom.name_span,
+                   "arity mismatch for " + atom.predicate + ": expected " +
+                       std::to_string(schema->arity) + ", got " +
+                       std::to_string(atom.args.size()));
       }
       // Canonical name so aliases (receive-msg) share a predicate id.
       const std::string canonical = CanonicalEdbName(schema->kind);
-      return AddOrGetPred(canonical, schema->arity, schema->kind);
+      return AddOrGetPred(canonical, schema->arity, schema->kind,
+                          atom.name_span);
     }
     if (store_ != nullptr) {
       const auto* entry = store_->Find(atom.predicate);
       if (entry != nullptr) {
         if (entry->arity != static_cast<int>(atom.args.size())) {
-          return Status::AnalysisError("arity mismatch for stored relation " +
-                                       atom.predicate);
+          return Err(StatusCode::kAnalysisError, "PQL2006", atom.name_span,
+                     "arity mismatch for stored relation " + atom.predicate +
+                         ": expected " + std::to_string(entry->arity) +
+                         ", got " + std::to_string(atom.args.size()));
         }
-        return AddOrGetPred(atom.predicate, entry->arity, EdbKind::kStored);
+        return AddOrGetPred(atom.predicate, entry->arity, EdbKind::kStored,
+                            atom.name_span);
       }
     }
-    return Status::AnalysisError("unknown predicate " + atom.predicate);
+    return Err(StatusCode::kAnalysisError, "PQL2008", atom.name_span,
+               "unknown predicate " + atom.predicate + " in rule " +
+                   rule_name);
   }
 
   static std::string CanonicalEdbName(EdbKind kind) {
@@ -338,94 +430,109 @@ class Analyzer {
     }
   }
 
-  Status CompileRules() {
-    for (const Rule& rule : program_.rules) {
-      RuleBuilder rb;
-      rb.rule.source_text = rule.ToString();
-      rb.rule.head_pred = FindPred(rule.head_predicate);
-      rb.rule.has_aggregate = rule.HasAggregate();
+  /// Compiles one rule; errors have already been emitted to the sink when
+  /// this returns non-OK (the caller just drops the rule and continues).
+  Result<CompiledRule> CompileOneRule(const Rule& rule) {
+    RuleBuilder rb;
+    rb.rule.source_text = rule.ToString();
+    rb.rule.span = rule.span;
+    rb.rule.name_span = rule.name_span;
+    rb.rule.head_pred = FindPred(rule.head_predicate);
+    rb.rule.has_aggregate = rule.HasAggregate();
 
-      // Head terms; head[0] is the location specifier and must be a
-      // variable (paper §4.2).
-      if (rule.head[0].is_aggregate ||
-          rule.head[0].term.kind != Term::Kind::kVariable) {
-        return Status::AnalysisError(
-            "head location specifier must be a variable in: " +
-            rule.ToString());
+    // Head terms; head[0] is the location specifier and must be a
+    // variable (paper §4.2).
+    if (rule.head[0].is_aggregate ||
+        rule.head[0].term.kind != Term::Kind::kVariable) {
+      return Err(StatusCode::kAnalysisError, "PQL2014", rule.head[0].span,
+                 "head location specifier must be a variable in rule " +
+                     rule.head_predicate);
+    }
+    for (const HeadTerm& h : rule.head) {
+      CHeadTerm ch;
+      ch.is_aggregate = h.is_aggregate;
+      if (h.is_aggregate) {
+        ch.aggregate = h.aggregate;
+        ARIADNE_ASSIGN_OR_RETURN(ch.aggregate_arg,
+                                 rb.InternTerm(h.aggregate_arg));
+      } else {
+        ARIADNE_ASSIGN_OR_RETURN(ch.term, rb.InternTerm(h.term));
       }
-      for (const HeadTerm& h : rule.head) {
-        CHeadTerm ch;
-        ch.is_aggregate = h.is_aggregate;
-        if (h.is_aggregate) {
-          ch.aggregate = h.aggregate;
-          ARIADNE_ASSIGN_OR_RETURN(ch.aggregate_arg,
-                                   rb.InternTerm(h.aggregate_arg));
-        } else {
-          ARIADNE_ASSIGN_OR_RETURN(ch.term, rb.InternTerm(h.term));
-        }
-        rb.rule.head.push_back(ch);
-      }
-      rb.rule.head_loc_var =
-          rb.rule.term_pool[static_cast<size_t>(rb.rule.head[0].term)].var;
+      rb.rule.head.push_back(ch);
+    }
+    rb.rule.head_loc_var =
+        rb.rule.term_pool[static_cast<size_t>(rb.rule.head[0].term)].var;
 
-      // Body literals.
-      for (const BodyLiteral& lit : rule.body) {
-        CLiteral cl;
-        if (lit.kind == BodyLiteral::Kind::kComparison) {
-          cl.kind = CLiteral::Kind::kComparison;
-          cl.cmp_op = lit.comparison.op;
-          ARIADNE_ASSIGN_OR_RETURN(cl.cmp_lhs,
-                                   rb.InternTerm(lit.comparison.lhs));
-          ARIADNE_ASSIGN_OR_RETURN(cl.cmp_rhs,
-                                   rb.InternTerm(lit.comparison.rhs));
-          rb.rule.body.push_back(std::move(cl));
-          continue;
+    // Body literals.
+    for (const BodyLiteral& lit : rule.body) {
+      CLiteral cl;
+      cl.span = lit.span();
+      if (lit.kind == BodyLiteral::Kind::kComparison) {
+        cl.kind = CLiteral::Kind::kComparison;
+        cl.cmp_op = lit.comparison.op;
+        ARIADNE_ASSIGN_OR_RETURN(cl.cmp_lhs,
+                                 rb.InternTerm(lit.comparison.lhs));
+        ARIADNE_ASSIGN_OR_RETURN(cl.cmp_rhs,
+                                 rb.InternTerm(lit.comparison.rhs));
+        rb.rule.body.push_back(std::move(cl));
+        continue;
+      }
+      const AtomLiteral& atom = lit.atom;
+      const Udf* udf = udfs_.Find(atom.predicate);
+      if (udf != nullptr) {
+        if (udf->arity != static_cast<int>(atom.args.size())) {
+          return Err(StatusCode::kAnalysisError, "PQL2009", atom.name_span,
+                     "UDF " + atom.predicate + " expects " +
+                         std::to_string(udf->arity) + " arguments, got " +
+                         std::to_string(atom.args.size()));
         }
-        const AtomLiteral& atom = lit.atom;
-        const Udf* udf = udfs_.Find(atom.predicate);
-        if (udf != nullptr) {
-          if (udf->arity != static_cast<int>(atom.args.size())) {
-            return Status::AnalysisError("UDF " + atom.predicate +
-                                         " expects " +
-                                         std::to_string(udf->arity) +
-                                         " arguments");
-          }
-          if (atom.negated && udf->kind == UdfKind::kFunction) {
-            return Status::AnalysisError(
-                "cannot negate function UDF " + atom.predicate);
-          }
-          cl.kind = CLiteral::Kind::kUdf;
-          cl.udf = udf;
-          cl.negated = atom.negated;
-          for (const Term& t : atom.args) {
-            ARIADNE_ASSIGN_OR_RETURN(int idx, rb.InternTerm(t));
-            cl.udf_args.push_back(idx);
-          }
-          rb.rule.body.push_back(std::move(cl));
-          continue;
+        if (atom.negated && udf->kind == UdfKind::kFunction) {
+          return Err(StatusCode::kAnalysisError, "PQL2010", lit.span(),
+                     "cannot negate function UDF " + atom.predicate);
         }
-        cl.kind = CLiteral::Kind::kAtom;
+        cl.kind = CLiteral::Kind::kUdf;
+        cl.udf = udf;
         cl.negated = atom.negated;
-        ARIADNE_ASSIGN_OR_RETURN(cl.pred, ResolveBodyAtomPred(atom));
         for (const Term& t : atom.args) {
           ARIADNE_ASSIGN_OR_RETURN(int idx, rb.InternTerm(t));
-          cl.args.push_back(idx);
+          cl.udf_args.push_back(idx);
         }
         rb.rule.body.push_back(std::move(cl));
+        continue;
       }
-
-      // Distinct predicate reads for evaluation watermarks.
-      std::set<int> reads;
-      for (const CLiteral& cl : rb.rule.body) {
-        if (cl.kind == CLiteral::Kind::kAtom) reads.insert(cl.pred);
+      cl.kind = CLiteral::Kind::kAtom;
+      cl.negated = atom.negated;
+      ARIADNE_ASSIGN_OR_RETURN(cl.pred,
+                               ResolveBodyAtomPred(atom, rule.head_predicate));
+      for (const Term& t : atom.args) {
+        ARIADNE_ASSIGN_OR_RETURN(int idx, rb.InternTerm(t));
+        cl.args.push_back(idx);
       }
-      rb.rule.body_preds.assign(reads.begin(), reads.end());
-      rules_.push_back(std::move(rb.rule));
+      rb.rule.body.push_back(std::move(cl));
     }
-    return Status::OK();
+
+    // Distinct predicate reads for evaluation watermarks.
+    std::set<int> reads;
+    for (const CLiteral& cl : rb.rule.body) {
+      if (cl.kind == CLiteral::Kind::kAtom) reads.insert(cl.pred);
+    }
+    rb.rule.body_preds.assign(reads.begin(), reads.end());
+    return std::move(rb.rule);
   }
 
-  Status Stratify() {
+  void CompileRules() {
+    for (size_t r = 0; r < program_.rules.size(); ++r) {
+      if (bad_[r]) continue;
+      auto compiled = CompileOneRule(program_.rules[r]);
+      if (!compiled.ok()) {
+        bad_[r] = true;
+        continue;
+      }
+      rules_.push_back(std::move(*compiled));
+    }
+  }
+
+  void Stratify() {
     // stratum[p]: EDBs at 0; head strata grow through negative edges
     // (negation, dependencies of aggregate rules, and reads of aggregate
     // heads — consumers must evaluate after the aggregate stabilizes).
@@ -441,9 +548,10 @@ class Analyzer {
     while (changed) {
       changed = false;
       if (++guard > limit * static_cast<int>(rules_.size() + 1) + 4) {
-        return Status::AnalysisError(
+        Err(StatusCode::kAnalysisError, "PQL2011", Span{},
             "program is not stratifiable (negation or aggregation through "
             "recursion)");
+        return;
       }
       for (const CompiledRule& rule : rules_) {
         int& head_stratum = stratum[static_cast<size_t>(rule.head_pred)];
@@ -456,9 +564,11 @@ class Analyzer {
           const int required = negative ? dep + 1 : dep;
           if (required > head_stratum) {
             if (required > limit) {
-              return Status::AnalysisError(
+              Err(StatusCode::kAnalysisError, "PQL2011", rule.span,
                   "program is not stratifiable (negation or aggregation "
-                  "through recursion)");
+                  "through recursion involving " +
+                      preds_[static_cast<size_t>(rule.head_pred)].name + ")");
+              return;
             }
             head_stratum = required;
             changed = true;
@@ -474,268 +584,271 @@ class Analyzer {
     for (int p = 0; p < n; ++p) {
       preds_[static_cast<size_t>(p)].stratum = stratum[static_cast<size_t>(p)];
     }
-    return Status::OK();
   }
 
-  Status PlanRules() {
+  void PlanRules() {
     for (size_t r = 0; r < rules_.size(); ++r) {
-      CompiledRule& rule = rules_[r];
-      std::set<int> bound;
-      std::vector<bool> used(rule.body.size(), false);
-      rule.eval_order.clear();
-      rule.planned = options_.plan_joins;
+      PlanOneRule(rules_[r]);  // errors accumulate; bad plans are reported
+    }
+  }
 
-      auto comparison_usable = [&](const CLiteral& cl, bool* binds,
-                                   int* bind_var) {
-        const bool lhs_bound = TermBound(rule, cl.cmp_lhs, bound);
-        const bool rhs_bound = TermBound(rule, cl.cmp_rhs, bound);
-        if (lhs_bound && rhs_bound) {
-          *binds = false;
-          return true;
-        }
-        if (cl.cmp_op != ComparisonOp::kEq) return false;
-        int var;
-        if (!lhs_bound && rhs_bound && IsPlainVar(rule, cl.cmp_lhs, &var) &&
-            bound.count(var) == 0) {
-          *binds = true;
-          *bind_var = var;
-          return true;
-        }
-        if (lhs_bound && !rhs_bound && IsPlainVar(rule, cl.cmp_rhs, &var) &&
-            bound.count(var) == 0) {
-          *binds = true;
-          *bind_var = var;
-          return true;
-        }
-        return false;
-      };
+  Status PlanOneRule(CompiledRule& rule) {
+    std::set<int> bound;
+    std::vector<bool> used(rule.body.size(), false);
+    rule.eval_order.clear();
+    rule.planned = options_.plan_joins;
 
-      auto udf_usable = [&](const CLiteral& cl, bool* binds, int* bind_var) {
-        const size_t n_in = cl.udf->kind == UdfKind::kFunction
-                                ? cl.udf_args.size() - 1
-                                : cl.udf_args.size();
-        for (size_t i = 0; i < n_in; ++i) {
-          if (!TermBound(rule, cl.udf_args[i], bound)) return false;
-        }
-        if (cl.udf->kind == UdfKind::kPredicate) {
-          *binds = false;
-          return true;
-        }
-        const int out = cl.udf_args.back();
-        if (TermBound(rule, out, bound)) {
-          *binds = false;
-          return true;
-        }
-        int var;
-        if (IsPlainVar(rule, out, &var)) {
-          *binds = true;
-          *bind_var = var;
-          return true;
-        }
-        return false;
-      };
-
-      auto atom_usable = [&](const CLiteral& cl) {
-        // Every non-plain-var argument must be fully evaluable.
-        for (int arg : cl.args) {
-          if (!IsPlainVar(rule, arg) && !TermBound(rule, arg, bound)) return false;
-        }
-        // edge-value is a weight lookup: its superstep argument is a
-        // pass-through and must already be bound (weights carry no step).
-        if (preds_[static_cast<size_t>(cl.pred)].edb == EdbKind::kEdgeValue &&
-            !TermBound(rule, cl.args[3], bound)) {
-          return false;
-        }
+    auto comparison_usable = [&](const CLiteral& cl, bool* binds,
+                                 int* bind_var) {
+      const bool lhs_bound = TermBound(rule, cl.cmp_lhs, bound);
+      const bool rhs_bound = TermBound(rule, cl.cmp_rhs, bound);
+      if (lhs_bound && rhs_bound) {
+        *binds = false;
         return true;
-      };
-
-      auto negated_usable = [&](const CLiteral& cl) {
-        for (int arg : cl.args) {
-          if (!TermBound(rule, arg, bound)) return false;
-        }
+      }
+      if (cl.cmp_op != ComparisonOp::kEq) return false;
+      int var;
+      if (!lhs_bound && rhs_bound && IsPlainVar(rule, cl.cmp_lhs, &var) &&
+          bound.count(var) == 0) {
+        *binds = true;
+        *bind_var = var;
         return true;
-      };
+      }
+      if (lhs_bound && !rhs_bound && IsPlainVar(rule, cl.cmp_rhs, &var) &&
+          bound.count(var) == 0) {
+        *binds = true;
+        *bind_var = var;
+        return true;
+      }
+      return false;
+    };
 
-      auto bind_atom_vars = [&](const CLiteral& cl) {
-        for (int arg : cl.args) {
-          int var;
-          if (IsPlainVar(rule, arg, &var)) bound.insert(var);
+    auto udf_usable = [&](const CLiteral& cl, bool* binds, int* bind_var) {
+      const size_t n_in = cl.udf->kind == UdfKind::kFunction
+                              ? cl.udf_args.size() - 1
+                              : cl.udf_args.size();
+      for (size_t i = 0; i < n_in; ++i) {
+        if (!TermBound(rule, cl.udf_args[i], bound)) return false;
+      }
+      if (cl.udf->kind == UdfKind::kPredicate) {
+        *binds = false;
+        return true;
+      }
+      const int out = cl.udf_args.back();
+      if (TermBound(rule, out, bound)) {
+        *binds = false;
+        return true;
+      }
+      int var;
+      if (IsPlainVar(rule, out, &var)) {
+        *binds = true;
+        *bind_var = var;
+        return true;
+      }
+      return false;
+    };
+
+    auto atom_usable = [&](const CLiteral& cl) {
+      // Every non-plain-var argument must be fully evaluable.
+      for (int arg : cl.args) {
+        if (!IsPlainVar(rule, arg) && !TermBound(rule, arg, bound)) return false;
+      }
+      // edge-value is a weight lookup: its superstep argument is a
+      // pass-through and must already be bound (weights carry no step).
+      if (preds_[static_cast<size_t>(cl.pred)].edb == EdbKind::kEdgeValue &&
+          !TermBound(rule, cl.args[3], bound)) {
+        return false;
+      }
+      return true;
+    };
+
+    auto negated_usable = [&](const CLiteral& cl) {
+      for (int arg : cl.args) {
+        if (!TermBound(rule, arg, bound)) return false;
+      }
+      return true;
+    };
+
+    auto bind_atom_vars = [&](const CLiteral& cl) {
+      for (int arg : cl.args) {
+        int var;
+        if (IsPlainVar(rule, arg, &var)) bound.insert(var);
+      }
+    };
+
+    size_t remaining = rule.body.size();
+    while (remaining > 0) {
+      int picked = -1;
+      bool picked_binds = false;
+      int picked_bind_var = -1;
+      // 1. Comparisons and UDFs ready to filter or bind.
+      for (size_t i = 0; i < rule.body.size() && picked < 0; ++i) {
+        if (used[i]) continue;
+        const CLiteral& cl = rule.body[i];
+        bool binds = false;
+        int bind_var = -1;
+        if (cl.kind == CLiteral::Kind::kComparison &&
+            comparison_usable(cl, &binds, &bind_var)) {
+          picked = static_cast<int>(i);
+          picked_binds = binds;
+          picked_bind_var = bind_var;
+        } else if (cl.kind == CLiteral::Kind::kUdf &&
+                   udf_usable(cl, &binds, &bind_var)) {
+          picked = static_cast<int>(i);
+          picked_binds = binds;
+          picked_bind_var = bind_var;
         }
-      };
-
-      size_t remaining = rule.body.size();
-      while (remaining > 0) {
-        int picked = -1;
-        bool picked_binds = false;
-        int picked_bind_var = -1;
-        // 1. Comparisons and UDFs ready to filter or bind.
-        for (size_t i = 0; i < rule.body.size() && picked < 0; ++i) {
+      }
+      // 2. Usable positive atom. Legacy: most bound argument positions
+      // wins. Planned (sideways information passing): among atoms with
+      // at least one bound column to probe on, the one introducing the
+      // fewest unbound positions wins — it has the smallest expected
+      // fan-out, so the most selective join runs earliest and later
+      // atoms see more bound columns to probe on. An atom with no bound
+      // argument is a full scan regardless of arity, so all-unbound
+      // atoms rank below any probe-able one and keep body order among
+      // themselves. Ties fall back to most-bound, then body order. Both
+      // orders are safe (any usable atom preserves range restriction)
+      // and produce identical fixpoints (set semantics).
+      if (picked < 0) {
+        int best_bound_args = -1;
+        int best_unbound_args = std::numeric_limits<int>::max();
+        for (size_t i = 0; i < rule.body.size(); ++i) {
           if (used[i]) continue;
           const CLiteral& cl = rule.body[i];
-          bool binds = false;
-          int bind_var = -1;
-          if (cl.kind == CLiteral::Kind::kComparison &&
-              comparison_usable(cl, &binds, &bind_var)) {
+          if (cl.kind != CLiteral::Kind::kAtom || cl.negated) continue;
+          if (!atom_usable(cl)) continue;
+          int n_bound = 0;
+          for (int arg : cl.args) {
+            if (TermBound(rule, arg, bound)) ++n_bound;
+          }
+          // Full scans sort after every probe-able atom, in body order.
+          const int n_unbound =
+              n_bound == 0 ? std::numeric_limits<int>::max() - 1
+                           : static_cast<int>(cl.args.size()) - n_bound;
+          const bool better =
+              options_.plan_joins
+                  ? (n_unbound < best_unbound_args ||
+                     (n_unbound == best_unbound_args &&
+                      n_bound > best_bound_args))
+                  : n_bound > best_bound_args;
+          if (better) {
+            best_bound_args = n_bound;
+            best_unbound_args = n_unbound;
             picked = static_cast<int>(i);
-            picked_binds = binds;
-            picked_bind_var = bind_var;
-          } else if (cl.kind == CLiteral::Kind::kUdf &&
-                     udf_usable(cl, &binds, &bind_var)) {
+          }
+        }
+        if (picked >= 0) bind_atom_vars(rule.body[static_cast<size_t>(picked)]);
+      }
+      // 3. Fully bound negated atoms.
+      if (picked < 0) {
+        for (size_t i = 0; i < rule.body.size(); ++i) {
+          if (used[i]) continue;
+          const CLiteral& cl = rule.body[i];
+          if (cl.kind == CLiteral::Kind::kAtom && cl.negated &&
+              negated_usable(cl)) {
             picked = static_cast<int>(i);
-            picked_binds = binds;
-            picked_bind_var = bind_var;
+            break;
           }
         }
-        // 2. Usable positive atom. Legacy: most bound argument positions
-        // wins. Planned (sideways information passing): among atoms with
-        // at least one bound column to probe on, the one introducing the
-        // fewest unbound positions wins — it has the smallest expected
-        // fan-out, so the most selective join runs earliest and later
-        // atoms see more bound columns to probe on. An atom with no bound
-        // argument is a full scan regardless of arity, so all-unbound
-        // atoms rank below any probe-able one and keep body order among
-        // themselves. Ties fall back to most-bound, then body order. Both
-        // orders are safe (any usable atom preserves range restriction)
-        // and produce identical fixpoints (set semantics).
-        if (picked < 0) {
-          int best_bound_args = -1;
-          int best_unbound_args = std::numeric_limits<int>::max();
-          for (size_t i = 0; i < rule.body.size(); ++i) {
-            if (used[i]) continue;
-            const CLiteral& cl = rule.body[i];
-            if (cl.kind != CLiteral::Kind::kAtom || cl.negated) continue;
-            if (!atom_usable(cl)) continue;
-            int n_bound = 0;
-            for (int arg : cl.args) {
-              if (TermBound(rule, arg, bound)) ++n_bound;
-            }
-            // Full scans sort after every probe-able atom, in body order.
-            const int n_unbound =
-                n_bound == 0 ? std::numeric_limits<int>::max() - 1
-                             : static_cast<int>(cl.args.size()) - n_bound;
-            const bool better =
-                options_.plan_joins
-                    ? (n_unbound < best_unbound_args ||
-                       (n_unbound == best_unbound_args &&
-                        n_bound > best_bound_args))
-                    : n_bound > best_bound_args;
-            if (better) {
-              best_bound_args = n_bound;
-              best_unbound_args = n_unbound;
-              picked = static_cast<int>(i);
-            }
-          }
-          if (picked >= 0) bind_atom_vars(rule.body[static_cast<size_t>(picked)]);
-        }
-        // 3. Fully bound negated atoms.
-        if (picked < 0) {
-          for (size_t i = 0; i < rule.body.size(); ++i) {
-            if (used[i]) continue;
-            const CLiteral& cl = rule.body[i];
-            if (cl.kind == CLiteral::Kind::kAtom && cl.negated &&
-                negated_usable(cl)) {
-              picked = static_cast<int>(i);
-              break;
-            }
-          }
-        }
-        if (picked < 0) {
-          return Status::AnalysisError(
-              "rule is not range-restricted (cannot order body literals "
-              "safely): " + rule.source_text);
-        }
-        if (picked_binds) bound.insert(picked_bind_var);
-        used[static_cast<size_t>(picked)] = true;
-        rule.eval_order.push_back(static_cast<size_t>(picked));
-        --remaining;
       }
+      if (picked < 0) {
+        return Err(StatusCode::kAnalysisError, "PQL2012", rule.span,
+                   "rule is not range-restricted (cannot order body literals "
+                   "safely): " + rule.source_text);
+      }
+      if (picked_binds) bound.insert(picked_bind_var);
+      used[static_cast<size_t>(picked)] = true;
+      rule.eval_order.push_back(static_cast<size_t>(picked));
+      --remaining;
+    }
 
-      // Safety: every head variable must be bound by the body.
-      std::set<int> head_vars;
-      for (const CHeadTerm& h : rule.head) {
-        if (h.is_aggregate) {
-          TermVars(rule, h.aggregate_arg, head_vars);
-        } else {
-          TermVars(rule, h.term, head_vars);
-        }
+    // Safety: every head variable must be bound by the body.
+    std::set<int> head_vars;
+    for (const CHeadTerm& h : rule.head) {
+      if (h.is_aggregate) {
+        TermVars(rule, h.aggregate_arg, head_vars);
+      } else {
+        TermVars(rule, h.term, head_vars);
       }
-      for (int v : head_vars) {
-        if (bound.count(v) == 0) {
-          return Status::AnalysisError(
-              "unsafe rule: head variable '" + rule.vars[static_cast<size_t>(v)] +
-              "' is not bound by the body: " + rule.source_text);
-        }
+    }
+    for (int v : head_vars) {
+      if (bound.count(v) == 0) {
+        return Err(StatusCode::kAnalysisError, "PQL2013", rule.span,
+                   "unsafe rule: head variable '" +
+                       rule.vars[static_cast<size_t>(v)] +
+                       "' is not bound by the body: " + rule.source_text);
       }
+    }
 
-      // Existential-subgoal analysis: a positive atom whose newly bound
-      // variables are never used later (nor in the head) contributes at
-      // most one distinct continuation, so evaluation may stop at its
-      // first unifying tuple. Invalid for aggregate rules, where the
-      // multiset of full valuations feeds the aggregates.
-      rule.existential.assign(rule.eval_order.size(), 0);
-      if (!rule.has_aggregate) {
-        auto literal_vars = [&](size_t body_idx, std::set<int>& out) {
-          const CLiteral& l = rule.body[body_idx];
-          switch (l.kind) {
-            case CLiteral::Kind::kAtom:
-              for (int arg : l.args) TermVars(rule, arg, out);
-              break;
-            case CLiteral::Kind::kComparison:
-              TermVars(rule, l.cmp_lhs, out);
-              TermVars(rule, l.cmp_rhs, out);
-              break;
-            case CLiteral::Kind::kUdf:
-              for (int arg : l.udf_args) TermVars(rule, arg, out);
-              break;
-          }
-        };
-        std::set<int> sim_bound;
-        for (size_t k = 0; k < rule.eval_order.size(); ++k) {
-          const CLiteral& l = rule.body[rule.eval_order[k]];
-          if (l.kind == CLiteral::Kind::kAtom && !l.negated) {
-            std::set<int> new_vars;
-            for (int arg : l.args) {
-              int v;
-              if (IsPlainVar(rule, arg, &v) && sim_bound.count(v) == 0) {
-                new_vars.insert(v);
-              }
+    // Existential-subgoal analysis: a positive atom whose newly bound
+    // variables are never used later (nor in the head) contributes at
+    // most one distinct continuation, so evaluation may stop at its
+    // first unifying tuple. Invalid for aggregate rules, where the
+    // multiset of full valuations feeds the aggregates.
+    rule.existential.assign(rule.eval_order.size(), 0);
+    if (!rule.has_aggregate) {
+      auto literal_vars = [&](size_t body_idx, std::set<int>& out) {
+        const CLiteral& l = rule.body[body_idx];
+        switch (l.kind) {
+          case CLiteral::Kind::kAtom:
+            for (int arg : l.args) TermVars(rule, arg, out);
+            break;
+          case CLiteral::Kind::kComparison:
+            TermVars(rule, l.cmp_lhs, out);
+            TermVars(rule, l.cmp_rhs, out);
+            break;
+          case CLiteral::Kind::kUdf:
+            for (int arg : l.udf_args) TermVars(rule, arg, out);
+            break;
+        }
+      };
+      std::set<int> sim_bound;
+      for (size_t k = 0; k < rule.eval_order.size(); ++k) {
+        const CLiteral& l = rule.body[rule.eval_order[k]];
+        if (l.kind == CLiteral::Kind::kAtom && !l.negated) {
+          std::set<int> new_vars;
+          for (int arg : l.args) {
+            int v;
+            if (IsPlainVar(rule, arg, &v) && sim_bound.count(v) == 0) {
+              new_vars.insert(v);
             }
-            bool live = false;
+          }
+          bool live = false;
+          for (int v : new_vars) {
+            if (head_vars.count(v) > 0) {
+              live = true;
+              break;
+            }
+          }
+          for (size_t j = k + 1; j < rule.eval_order.size() && !live; ++j) {
+            std::set<int> later;
+            literal_vars(rule.eval_order[j], later);
             for (int v : new_vars) {
-              if (head_vars.count(v) > 0) {
+              if (later.count(v) > 0) {
                 live = true;
                 break;
               }
             }
-            for (size_t j = k + 1; j < rule.eval_order.size() && !live; ++j) {
-              std::set<int> later;
-              literal_vars(rule.eval_order[j], later);
-              for (int v : new_vars) {
-                if (later.count(v) > 0) {
-                  live = true;
-                  break;
-                }
-              }
-            }
-            rule.existential[k] = live ? 0 : 1;
-            sim_bound.insert(new_vars.begin(), new_vars.end());
-          } else if (l.kind == CLiteral::Kind::kComparison &&
-                     l.cmp_op == ComparisonOp::kEq) {
-            int v;
-            if (IsPlainVar(rule, l.cmp_lhs, &v)) sim_bound.insert(v);
-            if (IsPlainVar(rule, l.cmp_rhs, &v)) sim_bound.insert(v);
-          } else if (l.kind == CLiteral::Kind::kUdf &&
-                     l.udf->kind == UdfKind::kFunction) {
-            int v;
-            if (IsPlainVar(rule, l.udf_args.back(), &v)) sim_bound.insert(v);
           }
+          rule.existential[k] = live ? 0 : 1;
+          sim_bound.insert(new_vars.begin(), new_vars.end());
+        } else if (l.kind == CLiteral::Kind::kComparison &&
+                   l.cmp_op == ComparisonOp::kEq) {
+          int v;
+          if (IsPlainVar(rule, l.cmp_lhs, &v)) sim_bound.insert(v);
+          if (IsPlainVar(rule, l.cmp_rhs, &v)) sim_bound.insert(v);
+        } else if (l.kind == CLiteral::Kind::kUdf &&
+                   l.udf->kind == UdfKind::kFunction) {
+          int v;
+          if (IsPlainVar(rule, l.udf_args.back(), &v)) sim_bound.insert(v);
         }
       }
     }
     return Status::OK();
   }
 
-  Status AnalyzeLocations() {
+  void AnalyzeLocations() {
     struct ShipRequest {
       int pred;
       ShipRouting routing;
@@ -756,21 +869,27 @@ class Analyzer {
                !IsStaticEdb(preds_[static_cast<size_t>(cl.pred)].edb);
       };
 
+      bool rule_ok = true;
       for (CLiteral& cl : rule.body) {
         if (!atom_is_located(cl)) continue;
         if (cl.args.empty()) {
-          return Status::AnalysisError("located atom with no arguments in: " +
-                                       rule.source_text);
+          Err(StatusCode::kAnalysisError, "PQL2015", cl.span,
+              "located atom with no arguments in: " + rule.source_text);
+          rule_ok = false;
+          continue;
         }
         int loc;
         if (!IsPlainVar(rule, cl.args[0], &loc)) {
-          return Status::AnalysisError(
+          Err(StatusCode::kAnalysisError, "PQL2016", cl.span,
               "location specifier (first argument) must be a variable in: " +
-              rule.source_text);
+                  rule.source_text);
+          rule_ok = false;
+          continue;
         }
         cl.loc_var = loc;
         cl.remote = loc != rule.head_loc_var;
       }
+      if (!rule_ok) continue;
 
       std::set<int> local_vars;
       for (const CLiteral& cl : rule.body) {
@@ -859,14 +978,14 @@ class Analyzer {
     for (const auto& req : ships) {
       PredicateInfo& info = preds_[static_cast<size_t>(req.pred)];
       if (info.shipped && info.routing != req.routing) {
-        return Status::Unsupported(
+        Err(StatusCode::kUnsupported, "PQL2017", Span{},
             "relation " + info.name +
-            " is shipped along conflicting routes; split the query");
+                " is shipped along conflicting routes; split the query");
+        continue;
       }
       info.shipped = true;
       info.routing = req.routing;
     }
-    return Status::OK();
   }
 
   /// For an edge-guarded remote atom, infer direction from a comparison
@@ -943,7 +1062,7 @@ class Analyzer {
     return Direction::kUndirected;
   }
 
-  Status CheckAggregates() {
+  void CheckAggregates() {
     std::map<int, int> rules_per_head;
     for (const CompiledRule& rule : rules_) {
       ++rules_per_head[rule.head_pred];
@@ -951,22 +1070,23 @@ class Analyzer {
         preds_[static_cast<size_t>(rule.head_pred)].has_aggregate_rule = true;
       }
     }
+    std::set<int> reported;
     for (const CompiledRule& rule : rules_) {
       if (preds_[static_cast<size_t>(rule.head_pred)].has_aggregate_rule &&
-          rules_per_head[rule.head_pred] > 1) {
-        return Status::Unsupported(
+          rules_per_head[rule.head_pred] > 1 &&
+          reported.insert(rule.head_pred).second) {
+        Err(StatusCode::kUnsupported, "PQL2018", rule.name_span,
             "aggregate relation " +
-            preds_[static_cast<size_t>(rule.head_pred)].name +
-            " must be defined by exactly one rule");
+                preds_[static_cast<size_t>(rule.head_pred)].name +
+                " must be defined by exactly one rule");
       }
     }
     for (const PredicateInfo& info : preds_) {
       if (info.shipped && info.has_aggregate_rule) {
-        return Status::Unsupported(
+        Err(StatusCode::kUnsupported, "PQL2019", Span{},
             "shipping aggregate relation " + info.name + " is not supported");
       }
     }
-    return Status::OK();
   }
 
   /// Recognizes projection-only capture programs (paper Queries 2 and 11)
@@ -1056,7 +1176,11 @@ class Analyzer {
   const UdfRegistry& udfs_;
   const StoreSchema* store_;
   AnalyzeOptions options_;
+  DiagnosticSink own_sink_;
+  DiagnosticSink* sink_;
+  Status first_error_;
 
+  std::vector<bool> bad_;  ///< program rule index -> dropped by an error
   std::vector<PredicateInfo> preds_;
   std::set<int> head_preds_;
   std::vector<CompiledRule> rules_;
@@ -1071,8 +1195,9 @@ class Analyzer {
 Result<AnalyzedQuery> Analyze(const Program& program, const Catalog& catalog,
                               const UdfRegistry& udfs,
                               const StoreSchema* store,
-                              const AnalyzeOptions& options) {
-  return Analyzer(program, catalog, udfs, store, options).Run();
+                              const AnalyzeOptions& options,
+                              DiagnosticSink* sink) {
+  return Analyzer(program, catalog, udfs, store, options, sink).Run();
 }
 
 }  // namespace ariadne

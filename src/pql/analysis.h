@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "pql/ast.h"
 #include "pql/catalog.h"
+#include "pql/diagnostics.h"
 #include "pql/udf.h"
 
 namespace ariadne {
@@ -93,6 +94,8 @@ struct CLiteral {
   // kUdf
   const Udf* udf = nullptr;
   std::vector<int> udf_args;  ///< term pool indices (output last for functions)
+
+  Span span;  ///< source extent of the originating body literal
 };
 
 struct CHeadTerm {
@@ -126,6 +129,8 @@ struct CompiledRule {
   /// which reproduces the legacy greedy order + first-evaluable probe.
   bool planned = false;
   std::string source_text;  ///< pretty-printed original rule (diagnostics)
+  Span span;                ///< full source extent of the rule
+  Span name_span;           ///< the head predicate name token
 };
 
 /// A capture query whose rules are pure projections of built-in EDBs gets
@@ -215,10 +220,17 @@ class AnalyzedQuery {
 /// extraction.
 ///
 /// The query must have no unbound $parameters (bind them first).
+///
+/// When `sink` is non-null the analyzer accumulates every error it can
+/// recover from (bad rules are dropped and analysis continues with the
+/// rest), each with a stable PQL2xxx code and a source span; the returned
+/// Status is then the first error. With a null sink behavior is the
+/// legacy first-error bail-out.
 Result<AnalyzedQuery> Analyze(const Program& program, const Catalog& catalog,
                               const UdfRegistry& udfs,
                               const StoreSchema* store = nullptr,
-                              const AnalyzeOptions& options = {});
+                              const AnalyzeOptions& options = {},
+                              DiagnosticSink* sink = nullptr);
 
 }  // namespace ariadne
 

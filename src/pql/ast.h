@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "pql/diagnostics.h"
 
 namespace ariadne {
 
@@ -21,6 +22,7 @@ struct Term {
   Value constant;                  ///< kConstant payload
   char op = 0;                     ///< kArith: one of + - * /
   std::shared_ptr<Term> lhs, rhs;  ///< kArith children
+  Span span;                       ///< source extent of this term
 
   static Term Var(std::string name);
   static Term Const(Value v);
@@ -50,6 +52,8 @@ struct AtomLiteral {
   std::string predicate;
   std::vector<Term> args;
   bool negated = false;
+  Span name_span;  ///< the predicate name token
+  Span span;       ///< full extent incl. negation and ')'
 
   std::string ToString() const;
 };
@@ -60,6 +64,7 @@ struct ComparisonLiteral {
   Term lhs;
   ComparisonOp op = ComparisonOp::kEq;
   Term rhs;
+  Span span;  ///< full extent `lhs op rhs`
 
   std::string ToString() const;
 };
@@ -75,6 +80,11 @@ struct BodyLiteral {
   static BodyLiteral MakeAtom(AtomLiteral a);
   static BodyLiteral MakeComparison(ComparisonLiteral c);
 
+  /// Full source extent of whichever alternative this literal holds.
+  const Span& span() const {
+    return kind == Kind::kAtom ? atom.span : comparison.span;
+  }
+
   std::string ToString() const;
 };
 
@@ -89,6 +99,7 @@ struct HeadTerm {
   Term term;                              ///< plain term (may be arithmetic)
   AggregateFn aggregate = AggregateFn::kCount;  ///< when is_aggregate
   Term aggregate_arg;                     ///< variable under the aggregate
+  Span span;                              ///< source extent
 
   std::string ToString() const;
 };
@@ -98,6 +109,8 @@ struct Rule {
   std::string head_predicate;
   std::vector<HeadTerm> head;
   std::vector<BodyLiteral> body;
+  Span name_span;  ///< the head predicate name token
+  Span span;       ///< full extent from head name through '.'
 
   bool HasAggregate() const;
   std::string ToString() const;

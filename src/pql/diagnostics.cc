@@ -1,0 +1,187 @@
+#include "pql/diagnostics.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ariadne {
+
+const char* SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+namespace {
+
+/// code -> short description, in registration (band) order.
+const std::vector<std::pair<std::string, std::string>>& CodeTable() {
+  static const std::vector<std::pair<std::string, std::string>> kTable = {
+      // --- PQL1xxx: lexical / syntax ---
+      {"PQL1001", "unexpected character"},
+      {"PQL1002", "malformed numeric literal"},
+      {"PQL1003", "unterminated string literal"},
+      {"PQL1004", "unexpected token (expected something else)"},
+      {"PQL1005", "empty PQL program"},
+      {"PQL1006", "'$' must be followed by a parameter name"},
+      {"PQL1007", "':' must be followed by '-' (rule arrow)"},
+      // --- PQL2xxx: semantic analysis ---
+      {"PQL2001", "unbound query parameter"},
+      {"PQL2002", "rule head redefines a built-in EDB relation"},
+      {"PQL2003", "rule head collides with a registered UDF"},
+      {"PQL2004", "rule head redefines a transient capture-time EDB"},
+      {"PQL2005", "capture rule redefines a relation with the wrong arity"},
+      {"PQL2006", "predicate used with inconsistent arities"},
+      {"PQL2007", "transient predicate is not available offline"},
+      {"PQL2008", "unknown predicate"},
+      {"PQL2009", "wrong number of arguments to UDF"},
+      {"PQL2010", "function UDFs cannot be negated"},
+      {"PQL2011", "program is not stratifiable"},
+      {"PQL2012", "rule is not range-restricted"},
+      {"PQL2013", "unsafe rule: head variable not bound by the body"},
+      {"PQL2014", "head location specifier must be a variable"},
+      {"PQL2015", "located atom needs a location argument"},
+      {"PQL2016", "atom location specifier must be a variable"},
+      {"PQL2017", "relation shipped along conflicting routes"},
+      {"PQL2018", "aggregate relation must be defined by exactly one rule"},
+      {"PQL2019", "shipping an aggregate relation is not supported"},
+      {"PQL2020", "rule with empty head"},
+      // --- PQL3xxx: lint warnings ---
+      {"PQL3001", "rule is unreachable from every output relation"},
+      {"PQL3002", "variable occurs only once (singleton)"},
+      {"PQL3003", "rule head shadows a captured (stored) relation"},
+      {"PQL3004", "predicate name is confusable with a built-in EDB"},
+      {"PQL3005", "join forms a cartesian product"},
+      {"PQL3006", "negation over a recursive predicate"},
+      {"PQL3007", "comparison is always true (redundant)"},
+      {"PQL3008", "comparison is always false (rule can never fire)"},
+      {"PQL3009", "parameter bound but never used by the program"},
+      {"PQL3010", "join plan degenerates to nested full scans"},
+  };
+  return kTable;
+}
+
+}  // namespace
+
+const char* DiagCodeDescription(const std::string& code) {
+  for (const auto& [c, desc] : CodeTable()) {
+    if (c == code) return desc.c_str();
+  }
+  return nullptr;
+}
+
+const std::vector<std::string>& AllDiagCodes() {
+  static const std::vector<std::string> kCodes = [] {
+    std::vector<std::string> out;
+    out.reserve(CodeTable().size());
+    for (const auto& [c, desc] : CodeTable()) out.push_back(c);
+    return out;
+  }();
+  return kCodes;
+}
+
+Diagnostic& DiagnosticSink::Add(Severity severity, std::string code, Span span,
+                                std::string message) {
+  if (span.file.empty()) span.file = file_;
+  Diagnostic d;
+  d.severity = severity;
+  d.code = std::move(code);
+  d.message = std::move(message);
+  d.span = std::move(span);
+  if (severity == Severity::kError) ++error_count_;
+  if (severity == Severity::kWarning) ++warning_count_;
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+void DiagnosticSink::SortBySpan() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.span.valid() != b.span.valid()) {
+                       return a.span.valid();  // unknown spans last
+                     }
+                     if (a.span.offset != b.span.offset) {
+                       return a.span.offset < b.span.offset;
+                     }
+                     return a.severity > b.severity;  // errors first
+                   });
+}
+
+namespace {
+
+/// The content of 1-based `line` in `source` (no trailing newline).
+std::string SourceLine(const std::string& source, int line) {
+  size_t start = 0;
+  for (int i = 1; i < line; ++i) {
+    const size_t nl = source.find('\n', start);
+    if (nl == std::string::npos) return "";
+    start = nl + 1;
+  }
+  size_t end = source.find('\n', start);
+  if (end == std::string::npos) end = source.size();
+  return source.substr(start, end - start);
+}
+
+}  // namespace
+
+std::string DiagnosticSink::RenderOne(const Diagnostic& d) const {
+  std::string out;
+  const std::string& file = d.span.file.empty() ? file_ : d.span.file;
+  if (d.span.valid()) {
+    out += file.empty() ? "<input>" : file;
+    out += ":" + std::to_string(d.span.line) + ":" +
+           std::to_string(d.span.column) + ": ";
+  } else if (!file.empty()) {
+    out += file + ": ";
+  }
+  out += SeverityToString(d.severity);
+  out += ": " + d.message + " [" + d.code + "]\n";
+  if (d.span.valid() && !source_.empty()) {
+    const std::string line = SourceLine(source_, d.span.line);
+    if (!line.empty()) {
+      out += "    " + line + "\n";
+      std::string caret(4, ' ');
+      for (int i = 1; i < d.span.column; ++i) {
+        // Preserve tabs so the caret lines up under tab-indented source.
+        caret.push_back(line[static_cast<size_t>(i - 1)] == '\t' ? '\t' : ' ');
+      }
+      caret.push_back('^');
+      const int max_len =
+          static_cast<int>(line.size()) - d.span.column + 1;
+      const int len = std::min(std::max(d.span.length, 1), std::max(max_len, 1));
+      caret.append(static_cast<size_t>(std::max(len - 1, 0)), '~');
+      out += caret + "\n";
+    }
+  }
+  for (const Diagnostic& note : d.notes) out += RenderOne(note);
+  return out;
+}
+
+std::string DiagnosticSink::RenderText() const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) out += RenderOne(d);
+  return out;
+}
+
+Status DiagnosticSink::FirstErrorStatus() const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != Severity::kError) continue;
+    std::string msg;
+    if (d.span.valid()) {
+      msg = "line " + std::to_string(d.span.line) + ":" +
+            std::to_string(d.span.column) + ": ";
+    }
+    msg += d.message + " [" + d.code + "]";
+    const bool syntactic = d.code.compare(0, 4, "PQL1") == 0;
+    return syntactic ? Status::ParseError(std::move(msg))
+                     : Status::AnalysisError(std::move(msg));
+  }
+  return Status::OK();
+}
+
+}  // namespace ariadne

@@ -1,0 +1,128 @@
+#ifndef ARIADNE_PQL_DIAGNOSTICS_H_
+#define ARIADNE_PQL_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ariadne {
+
+/// A half-open source range. `offset`/`length` are byte positions into the
+/// original source text (used to apply fixits); `line`/`column` are 1-based
+/// and used for rendering. `file` is usually empty and inherited from the
+/// DiagnosticSink's file name when the diagnostic is emitted.
+struct Span {
+  std::string file;
+  int line = 0;    ///< 1-based; 0 means "no source location"
+  int column = 0;  ///< 1-based
+  int length = 1;  ///< characters covered (caret + tildes)
+  size_t offset = 0;
+
+  bool valid() const { return line > 0; }
+};
+
+enum class Severity { kNote, kWarning, kError };
+
+const char* SeverityToString(Severity s);
+
+/// A mechanical replacement suggestion attached to a diagnostic:
+/// replace `span` (offset/length) with `replacement`. Applied by
+/// ApplyFixits (lint/fix.h) under `ariadne_lint --fix`.
+struct FixIt {
+  Span span;
+  std::string replacement;
+};
+
+/// One reported problem: a stable code ("PQL1001"), a severity, a message
+/// and the source span it anchors to. Notes attach secondary locations.
+struct Diagnostic {
+  Severity severity = Severity::kError;
+  std::string code;
+  std::string message;
+  Span span;
+  std::vector<FixIt> fixits;
+  std::vector<Diagnostic> notes;
+};
+
+/// Diagnostic code registry: short description used as the SARIF rule
+/// shortDescription and by `ariadne_lint --explain`. Returns nullptr for
+/// unknown codes.
+///
+/// Code bands:
+///   PQL1xxx  lexical / syntax errors
+///   PQL2xxx  semantic (analysis) errors
+///   PQL3xxx  lint warnings
+const char* DiagCodeDescription(const std::string& code);
+
+/// All registered diagnostic codes, in band order.
+const std::vector<std::string>& AllDiagCodes();
+
+/// Accumulates diagnostics for one source buffer. Replaces the
+/// first-error Result<> bail-out in the PQL front end: the lexer, parser,
+/// analyzer and lint passes all emit here, so one run reports every
+/// problem in a program, each with a caret-rendered source excerpt.
+class DiagnosticSink {
+ public:
+  DiagnosticSink() = default;
+  DiagnosticSink(std::string file, std::string source)
+      : file_(std::move(file)), source_(std::move(source)) {}
+
+  void SetSource(std::string file, std::string source) {
+    file_ = std::move(file);
+    source_ = std::move(source);
+  }
+
+  Diagnostic& Add(Severity severity, std::string code, Span span,
+                  std::string message);
+  Diagnostic& Error(std::string code, Span span, std::string message) {
+    return Add(Severity::kError, std::move(code), std::move(span),
+               std::move(message));
+  }
+  Diagnostic& Warning(std::string code, Span span, std::string message) {
+    return Add(Severity::kWarning, std::move(code), std::move(span),
+               std::move(message));
+  }
+  Diagnostic& Note(std::string code, Span span, std::string message) {
+    return Add(Severity::kNote, std::move(code), std::move(span),
+               std::move(message));
+  }
+
+  bool has_errors() const { return error_count_ > 0; }
+  size_t error_count() const { return error_count_; }
+  size_t warning_count() const { return warning_count_; }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::vector<Diagnostic>& mutable_diagnostics() { return diagnostics_; }
+  const std::string& file() const { return file_; }
+  const std::string& source() const { return source_; }
+
+  /// Stable-sorts diagnostics by source position (unknown spans last).
+  void SortBySpan();
+
+  /// Clang-style text rendering of every diagnostic:
+  ///   file:line:col: error: message [PQL1004]
+  ///       offending source line
+  ///       ^~~~~~
+  std::string RenderText() const;
+
+  /// Renders a single diagnostic (used by RenderText and the tools).
+  std::string RenderOne(const Diagnostic& d) const;
+
+  /// First error as a Status (ParseError for PQL1xxx, AnalysisError
+  /// otherwise), formatted "line L:C: message [code]" to stay compatible
+  /// with the legacy single-error API. OK when no errors were recorded.
+  Status FirstErrorStatus() const;
+
+ private:
+  std::string file_;
+  std::string source_;
+  std::vector<Diagnostic> diagnostics_;
+  size_t error_count_ = 0;
+  size_t warning_count_ = 0;
+};
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_PQL_DIAGNOSTICS_H_

@@ -4,6 +4,24 @@
 
 namespace ariadne {
 
+Span TokenSpan(const Token& token) {
+  Span span;
+  span.line = token.line;
+  span.column = token.column;
+  span.length = token.length > 0 ? token.length : 1;
+  span.offset = token.offset;
+  return span;
+}
+
+Span JoinSpans(const Span& first, const Span& last) {
+  Span span = first;
+  const size_t end = last.offset + static_cast<size_t>(last.length);
+  if (end > span.offset) {
+    span.length = static_cast<int>(end - span.offset);
+  }
+  return span;
+}
+
 namespace {
 
 bool IsIdentStart(char c) {
@@ -14,24 +32,33 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+/// Recovering lexer: every lexical error goes to the sink and lexing
+/// continues, so one pass reports all of them. The legacy Result<> entry
+/// point wraps this and returns the sink's first error.
 class Lexer {
  public:
-  explicit Lexer(const std::string& text) : text_(text) {}
+  Lexer(const std::string& text, DiagnosticSink& sink)
+      : text_(text), sink_(sink) {}
 
-  Result<std::vector<Token>> Run() {
+  std::vector<Token> Run() {
     std::vector<Token> tokens;
     for (;;) {
       SkipWhitespaceAndComments();
       Token token;
       token.line = line_;
       token.column = column_;
+      token.offset = pos_;
       if (AtEnd()) {
         token.kind = TokenKind::kEof;
         tokens.push_back(token);
         return tokens;
       }
-      ARIADNE_RETURN_NOT_OK(Next(token));
-      tokens.push_back(std::move(token));
+      if (Next(token)) {
+        token.length = static_cast<int>(pos_ - token.offset);
+        tokens.push_back(std::move(token));
+      }
+      // On a lexical error Next() already consumed the offending
+      // character(s) and reported; just continue with the next token.
     }
   }
 
@@ -64,40 +91,63 @@ class Lexer {
     }
   }
 
-  Status Error(const std::string& message) const {
-    return Status::ParseError("line " + std::to_string(line_) + ":" +
-                              std::to_string(column_) + ": " + message);
+  Span Here(size_t start_offset, int start_line, int start_column) const {
+    Span span;
+    span.line = start_line;
+    span.column = start_column;
+    span.offset = start_offset;
+    span.length = static_cast<int>(
+        pos_ > start_offset ? pos_ - start_offset : 1);
+    return span;
   }
 
-  Status Next(Token& token) {
+  void Report(const char* code, size_t start_offset, int start_line,
+              int start_column, std::string message) {
+    sink_.Error(code, Here(start_offset, start_line, start_column),
+                std::move(message));
+  }
+
+  /// Lexes one token into `token`. Returns false when the input at this
+  /// position was invalid (already reported and consumed).
+  bool Next(Token& token) {
+    const size_t start = pos_;
+    const int sline = line_, scol = column_;
     const char c = Peek();
-    if (IsIdentStart(c)) return LexIdent(token);
-    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(token);
+    if (IsIdentStart(c)) {
+      LexIdent(token);
+      return true;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      return LexNumber(token);
+    }
     switch (c) {
       case '$':
         Advance();
-        if (!IsIdentStart(Peek())) return Error("expected name after '$'");
+        if (!IsIdentStart(Peek())) {
+          Report("PQL1006", start, sline, scol, "expected name after '$'");
+          return false;
+        }
         LexIdentInto(token);
         token.kind = TokenKind::kParam;
-        return Status::OK();
+        return true;
       case '"':
         return LexString(token);
       case '(':
         Advance();
         token.kind = TokenKind::kLParen;
-        return Status::OK();
+        return true;
       case ')':
         Advance();
         token.kind = TokenKind::kRParen;
-        return Status::OK();
+        return true;
       case ',':
         Advance();
         token.kind = TokenKind::kComma;
-        return Status::OK();
+        return true;
       case '.':
         Advance();
         token.kind = TokenKind::kDot;
-        return Status::OK();
+        return true;
       case '!':
         Advance();
         if (Peek() == '=') {
@@ -106,12 +156,12 @@ class Lexer {
         } else {
           token.kind = TokenKind::kBang;
         }
-        return Status::OK();
+        return true;
       case '=':
         Advance();
         if (Peek() == '=') Advance();
         token.kind = TokenKind::kEq;
-        return Status::OK();
+        return true;
       case '<':
         Advance();
         if (Peek() == '-') {
@@ -126,7 +176,7 @@ class Lexer {
         } else {
           token.kind = TokenKind::kLt;
         }
-        return Status::OK();
+        return true;
       case '>':
         Advance();
         if (Peek() == '=') {
@@ -135,33 +185,37 @@ class Lexer {
         } else {
           token.kind = TokenKind::kGt;
         }
-        return Status::OK();
+        return true;
       case ':':
         Advance();
         if (Peek() == '-') {
           Advance();
           token.kind = TokenKind::kArrow;
-          return Status::OK();
+          return true;
         }
-        return Error("expected '-' after ':'");
+        Report("PQL1007", start, sline, scol, "expected '-' after ':'");
+        return false;
       case '+':
         Advance();
         token.kind = TokenKind::kPlus;
-        return Status::OK();
+        return true;
       case '-':
         Advance();
         token.kind = TokenKind::kMinus;
-        return Status::OK();
+        return true;
       case '*':
         Advance();
         token.kind = TokenKind::kStar;
-        return Status::OK();
+        return true;
       case '/':
         Advance();
         token.kind = TokenKind::kSlash;
-        return Status::OK();
+        return true;
       default:
-        return Error(std::string("unexpected character '") + c + "'");
+        Advance();
+        Report("PQL1001", start, sline, scol,
+               std::string("unexpected character '") + c + "'");
+        return false;
     }
   }
 
@@ -182,17 +236,18 @@ class Lexer {
     token.text = std::move(name);
   }
 
-  Status LexIdent(Token& token) {
+  void LexIdent(Token& token) {
     LexIdentInto(token);
     if (token.text == "not") {
       token.kind = TokenKind::kBang;
     } else {
       token.kind = TokenKind::kIdent;
     }
-    return Status::OK();
   }
 
-  Status LexNumber(Token& token) {
+  bool LexNumber(Token& token) {
+    const size_t start = pos_;
+    const int sline = line_, scol = column_;
     std::string digits;
     while (std::isdigit(static_cast<unsigned char>(Peek()))) {
       digits.push_back(Advance());
@@ -210,7 +265,8 @@ class Lexer {
       digits.push_back(Advance());
       if (Peek() == '+' || Peek() == '-') digits.push_back(Advance());
       if (!std::isdigit(static_cast<unsigned char>(Peek()))) {
-        return Error("malformed exponent");
+        Report("PQL1002", start, sline, scol, "malformed exponent");
+        return false;
       }
       while (std::isdigit(static_cast<unsigned char>(Peek()))) {
         digits.push_back(Advance());
@@ -223,10 +279,12 @@ class Lexer {
       token.kind = TokenKind::kInt;
       token.literal = Value(static_cast<int64_t>(std::stoll(digits)));
     }
-    return Status::OK();
+    return true;
   }
 
-  Status LexString(Token& token) {
+  bool LexString(Token& token) {
+    const size_t start = pos_;
+    const int sline = line_, scol = column_;
     Advance();  // opening quote
     std::string out;
     while (!AtEnd() && Peek() != '"') {
@@ -246,14 +304,18 @@ class Lexer {
       }
       out.push_back(c);
     }
-    if (AtEnd()) return Error("unterminated string literal");
+    if (AtEnd()) {
+      Report("PQL1003", start, sline, scol, "unterminated string literal");
+      return false;
+    }
     Advance();  // closing quote
     token.kind = TokenKind::kString;
     token.literal = Value(std::move(out));
-    return Status::OK();
+    return true;
   }
 
   const std::string& text_;
+  DiagnosticSink& sink_;
   size_t pos_ = 0;
   int line_ = 1;
   int column_ = 1;
@@ -261,8 +323,15 @@ class Lexer {
 
 }  // namespace
 
+std::vector<Token> Tokenize(const std::string& text, DiagnosticSink& sink) {
+  return Lexer(text, sink).Run();
+}
+
 Result<std::vector<Token>> Tokenize(const std::string& text) {
-  return Lexer(text).Run();
+  DiagnosticSink sink;
+  std::vector<Token> tokens = Lexer(text, sink).Run();
+  if (sink.has_errors()) return sink.FirstErrorStatus();
+  return tokens;
 }
 
 }  // namespace ariadne

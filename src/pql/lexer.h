@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "common/value.h"
+#include "pql/diagnostics.h"
 
 namespace ariadne {
 
@@ -41,7 +42,15 @@ struct Token {
   Value literal;      ///< kInt / kDouble / kString payload
   int line = 1;
   int column = 1;
+  size_t offset = 0;  ///< byte offset of the first character
+  int length = 0;     ///< spelled length in bytes
 };
+
+/// Source span covering a token (file is stamped in by the sink).
+Span TokenSpan(const Token& token);
+
+/// Span from the start of `first` to the end of `last` (inclusive).
+Span JoinSpans(const Span& first, const Span& last);
 
 /// Tokenizes PQL text.
 ///
@@ -52,6 +61,12 @@ struct Token {
 /// lexes as the single identifier "i-j". Comments run from `%` or `//` to
 /// end of line.
 Result<std::vector<Token>> Tokenize(const std::string& text);
+
+/// Recovering tokenizer: lexical errors are reported to `sink` (codes
+/// PQL1001-PQL1003, PQL1006, PQL1007) and lexing continues past them, so
+/// one pass surfaces every lexical problem. The returned stream always
+/// ends with a kEof token.
+std::vector<Token> Tokenize(const std::string& text, DiagnosticSink& sink);
 
 }  // namespace ariadne
 

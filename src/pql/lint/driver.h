@@ -1,0 +1,22 @@
+#ifndef ARIADNE_PQL_LINT_DRIVER_H_
+#define ARIADNE_PQL_LINT_DRIVER_H_
+
+#include <string>
+#include <vector>
+
+namespace ariadne::lint {
+
+/// The `ariadne_lint` command line, testable without a process boundary.
+/// `args` excludes argv[0]; normal output is appended to `out`,
+/// usage/IO errors to `err`.
+///
+/// Exit codes (same contract as pql_check):
+///   0  clean, or warnings only (without --Werror)
+///   1  diagnostics with error severity, or warnings under --Werror
+///   2  usage error or file IO failure
+int RunAriadneLint(const std::vector<std::string>& args, std::string* out,
+                   std::string* err);
+
+}  // namespace ariadne::lint
+
+#endif  // ARIADNE_PQL_LINT_DRIVER_H_

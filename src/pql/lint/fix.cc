@@ -1,0 +1,39 @@
+#include "pql/lint/fix.h"
+
+#include <algorithm>
+
+namespace ariadne::lint {
+
+std::string ApplyFixits(const std::string& source,
+                        const std::vector<Diagnostic>& diagnostics,
+                        int* applied) {
+  std::vector<const FixIt*> fixes;
+  for (const Diagnostic& d : diagnostics) {
+    for (const FixIt& f : d.fixits) {
+      if (f.span.offset + static_cast<size_t>(f.span.length) <=
+          source.size()) {
+        fixes.push_back(&f);
+      }
+    }
+  }
+  // Descending offset: splicing at the back never shifts pending spans.
+  std::stable_sort(fixes.begin(), fixes.end(),
+                   [](const FixIt* a, const FixIt* b) {
+                     return a->span.offset > b->span.offset;
+                   });
+  std::string out = source;
+  int count = 0;
+  size_t low_water = source.size() + 1;  // start of the last applied edit
+  for (const FixIt* f : fixes) {
+    const size_t start = f->span.offset;
+    const size_t end = start + static_cast<size_t>(f->span.length);
+    if (end > low_water) continue;  // overlaps a later (already applied) edit
+    out.replace(start, end - start, f->replacement);
+    low_water = start;
+    ++count;
+  }
+  if (applied != nullptr) *applied = count;
+  return out;
+}
+
+}  // namespace ariadne::lint

@@ -1,0 +1,22 @@
+#ifndef ARIADNE_PQL_LINT_FIX_H_
+#define ARIADNE_PQL_LINT_FIX_H_
+
+#include <string>
+#include <vector>
+
+#include "pql/diagnostics.h"
+
+namespace ariadne::lint {
+
+/// Applies every FixIt attached to `diagnostics` to `source` and returns
+/// the rewritten text. Fixits are applied back-to-front by byte offset so
+/// earlier edits do not shift later spans; overlapping fixits are skipped
+/// (first by offset order wins). `applied`, when non-null, receives the
+/// number of fixits actually applied.
+std::string ApplyFixits(const std::string& source,
+                        const std::vector<Diagnostic>& diagnostics,
+                        int* applied = nullptr);
+
+}  // namespace ariadne::lint
+
+#endif  // ARIADNE_PQL_LINT_FIX_H_

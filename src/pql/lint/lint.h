@@ -1,0 +1,62 @@
+#ifndef ARIADNE_PQL_LINT_LINT_H_
+#define ARIADNE_PQL_LINT_LINT_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pql/analysis.h"
+#include "pql/ast.h"
+#include "pql/catalog.h"
+#include "pql/diagnostics.h"
+#include "pql/udf.h"
+
+namespace ariadne::lint {
+
+struct LintOptions {
+  /// Parameter names supplied by the caller (--param / %! param pragmas);
+  /// the unused-parameter pass warns about provided-but-unused ones.
+  std::vector<std::string> provided_params;
+  /// Diagnostic codes to suppress (--disable PQL3002).
+  std::set<std::string> disabled;
+};
+
+/// Everything a lint pass may look at. `query` is null when semantic
+/// analysis failed; AST-only passes still run so a broken program gets
+/// its full diagnosis in one invocation.
+struct LintInput {
+  const Program* program = nullptr;
+  const AnalyzedQuery* query = nullptr;  ///< null when analysis failed
+  const Catalog* catalog = nullptr;
+  const UdfRegistry* udfs = nullptr;
+  const StoreSchema* store = nullptr;  ///< may be null
+  /// $parameters the program mentioned (collected before binding).
+  std::set<std::string> program_params;
+};
+
+/// One lint pass. Passes emit PQL3xxx warnings into the sink; they must
+/// not emit errors (errors belong to the parser / analyzer).
+class LintPass {
+ public:
+  virtual ~LintPass() = default;
+  virtual const char* name() const = 0;
+  /// The diagnostic code this pass emits (primary; used by --disable).
+  virtual const char* code() const = 0;
+  /// True when the pass replays the compiled plan and therefore needs a
+  /// successfully analyzed query.
+  virtual bool needs_query() const { return false; }
+  virtual void Run(const LintInput& input, const LintOptions& options,
+                   DiagnosticSink& sink) const = 0;
+};
+
+/// All built-in passes, in emission-code order.
+const std::vector<const LintPass*>& LintRegistry();
+
+/// Runs every enabled pass (skipping query-needing passes when
+/// input.query is null and passes whose code is in options.disabled).
+void RunLintPasses(const LintInput& input, const LintOptions& options,
+                   DiagnosticSink& sink);
+
+}  // namespace ariadne::lint
+
+#endif  // ARIADNE_PQL_LINT_LINT_H_

@@ -1,0 +1,153 @@
+#include "pql/lint/output.h"
+
+#include <cstdio>
+#include <set>
+
+namespace ariadne::lint {
+namespace {
+
+const char* SarifLevel(Severity s) {
+  switch (s) {
+    case Severity::kError:
+      return "error";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kNote:
+      return "note";
+  }
+  return "none";
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const std::vector<FileLintResult>& results) {
+  size_t errors = 0;
+  size_t warnings = 0;
+  std::string out = "{\n  \"files\": [";
+  for (size_t f = 0; f < results.size(); ++f) {
+    if (f > 0) out += ",";
+    out += "\n    {\n      \"file\": \"" + JsonEscape(results[f].file) +
+           "\",\n      \"diagnostics\": [";
+    const auto& diags = results[f].diagnostics;
+    for (size_t i = 0; i < diags.size(); ++i) {
+      const Diagnostic& d = diags[i];
+      if (d.severity == Severity::kError) ++errors;
+      if (d.severity == Severity::kWarning) ++warnings;
+      if (i > 0) out += ",";
+      out += "\n        {\"severity\": \"";
+      out += SeverityToString(d.severity);
+      out += "\", \"code\": \"" + JsonEscape(d.code) + "\", \"message\": \"" +
+             JsonEscape(d.message) + "\", \"line\": " +
+             std::to_string(d.span.line) +
+             ", \"column\": " + std::to_string(d.span.column) +
+             ", \"length\": " + std::to_string(d.span.length) + "}";
+    }
+    if (!diags.empty()) out += "\n      ";
+    out += "]\n    }";
+  }
+  if (!results.empty()) out += "\n  ";
+  out += "],\n  \"errors\": " + std::to_string(errors) +
+         ",\n  \"warnings\": " + std::to_string(warnings) + "\n}\n";
+  return out;
+}
+
+std::string RenderSarif(const std::vector<FileLintResult>& results) {
+  std::string out =
+      "{\n"
+      "  \"$schema\": "
+      "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"ariadne_lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/ariadne\",\n"
+      "          \"rules\": [";
+  // Only rules that actually fired, keeping the log small and the rule
+  // index stable for schema validators.
+  std::set<std::string> fired;
+  for (const FileLintResult& r : results) {
+    for (const Diagnostic& d : r.diagnostics) fired.insert(d.code);
+  }
+  bool first = true;
+  for (const std::string& code : AllDiagCodes()) {
+    if (fired.count(code) == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    const char* desc = DiagCodeDescription(code);
+    out += "\n            {\"id\": \"" + JsonEscape(code) +
+           "\", \"shortDescription\": {\"text\": \"" +
+           JsonEscape(desc != nullptr ? desc : "") + "\"}}";
+  }
+  if (!first) out += "\n          ";
+  out +=
+      "]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+  first = true;
+  for (const FileLintResult& r : results) {
+    for (const Diagnostic& d : r.diagnostics) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n        {\"ruleId\": \"" + JsonEscape(d.code) +
+             "\", \"level\": \"";
+      out += SarifLevel(d.severity);
+      out += "\", \"message\": {\"text\": \"" + JsonEscape(d.message) + "\"}";
+      if (d.span.valid()) {
+        out += ", \"locations\": [{\"physicalLocation\": "
+               "{\"artifactLocation\": {\"uri\": \"" +
+               JsonEscape(r.file) + "\"}, \"region\": {\"startLine\": " +
+               std::to_string(d.span.line) +
+               ", \"startColumn\": " + std::to_string(d.span.column) +
+               ", \"endColumn\": " +
+               std::to_string(d.span.column + d.span.length) + "}}}]";
+      }
+      out += "}";
+    }
+  }
+  if (!first) out += "\n      ";
+  out +=
+      "]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace ariadne::lint

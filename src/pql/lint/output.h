@@ -1,0 +1,32 @@
+#ifndef ARIADNE_PQL_LINT_OUTPUT_H_
+#define ARIADNE_PQL_LINT_OUTPUT_H_
+
+#include <string>
+#include <vector>
+
+#include "pql/diagnostics.h"
+
+namespace ariadne::lint {
+
+/// All diagnostics collected for one linted file.
+struct FileLintResult {
+  std::string file;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Escapes a string for embedding in a JSON string literal (no quotes).
+std::string JsonEscape(const std::string& s);
+
+/// Machine-readable summary:
+/// {"files": [{"file": ..., "diagnostics": [{"severity", "code",
+/// "message", "line", "column", "length"}]}], "errors": N, "warnings": N}
+std::string RenderJson(const std::vector<FileLintResult>& results);
+
+/// SARIF 2.1.0 log with one run; rules are populated from the diagnostic
+/// code registry, results carry ruleId/level/message and a physical
+/// location (omitted for diagnostics without a source span).
+std::string RenderSarif(const std::vector<FileLintResult>& results);
+
+}  // namespace ariadne::lint
+
+#endif  // ARIADNE_PQL_LINT_OUTPUT_H_

@@ -1,0 +1,524 @@
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pql/lint/lint.h"
+
+namespace ariadne::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared helpers
+
+struct VarOcc {
+  std::string name;
+  Span span;
+  bool in_head = false;
+};
+
+void CollectVarOccurrences(const Term& t, bool in_head,
+                           std::vector<VarOcc>& out) {
+  switch (t.kind) {
+    case Term::Kind::kVariable:
+      out.push_back(VarOcc{t.name, t.span, in_head});
+      break;
+    case Term::Kind::kArith:
+      CollectVarOccurrences(*t.lhs, in_head, out);
+      CollectVarOccurrences(*t.rhs, in_head, out);
+      break;
+    default:
+      break;
+  }
+}
+
+std::vector<VarOcc> RuleVarOccurrences(const Rule& rule) {
+  std::vector<VarOcc> occ;
+  for (const HeadTerm& h : rule.head) {
+    if (h.is_aggregate) {
+      CollectVarOccurrences(h.aggregate_arg, /*in_head=*/true, occ);
+    } else {
+      CollectVarOccurrences(h.term, /*in_head=*/true, occ);
+    }
+  }
+  for (const BodyLiteral& lit : rule.body) {
+    if (lit.kind == BodyLiteral::Kind::kAtom) {
+      for (const Term& t : lit.atom.args) {
+        CollectVarOccurrences(t, /*in_head=*/false, occ);
+      }
+    } else {
+      CollectVarOccurrences(lit.comparison.lhs, /*in_head=*/false, occ);
+      CollectVarOccurrences(lit.comparison.rhs, /*in_head=*/false, occ);
+    }
+  }
+  return occ;
+}
+
+void PoolTermVars(const CompiledRule& rule, int idx, std::set<int>& out) {
+  const CTerm& t = rule.term_pool[static_cast<size_t>(idx)];
+  if (t.kind == CTerm::Kind::kVar) {
+    out.insert(t.var);
+  } else if (t.kind == CTerm::Kind::kArith) {
+    PoolTermVars(rule, t.lhs, out);
+    PoolTermVars(rule, t.rhs, out);
+  }
+}
+
+bool PoolTermBound(const CompiledRule& rule, int idx,
+                   const std::set<int>& bound) {
+  std::set<int> vars;
+  PoolTermVars(rule, idx, vars);
+  for (int v : vars) {
+    if (bound.count(v) == 0) return false;
+  }
+  return true;
+}
+
+/// One positive atom as the compiled plan evaluates it.
+struct AtomStep {
+  size_t body_idx = 0;
+  int bound_args = 0;  ///< argument positions already bound when evaluated
+  int arity = 0;
+};
+
+/// Replays eval_order with the same binding semantics as the planner,
+/// yielding the positive atoms in evaluation order with the number of
+/// bound argument positions each one is probed with.
+std::vector<AtomStep> ReplayPlan(const CompiledRule& rule) {
+  std::set<int> bound;
+  std::vector<AtomStep> steps;
+  auto bind_plain = [&](int term_idx) {
+    const CTerm& t = rule.term_pool[static_cast<size_t>(term_idx)];
+    if (t.kind == CTerm::Kind::kVar) bound.insert(t.var);
+  };
+  for (size_t k : rule.eval_order) {
+    const CLiteral& cl = rule.body[k];
+    switch (cl.kind) {
+      case CLiteral::Kind::kComparison:
+        if (cl.cmp_op == ComparisonOp::kEq) {
+          bind_plain(cl.cmp_lhs);
+          bind_plain(cl.cmp_rhs);
+        }
+        break;
+      case CLiteral::Kind::kUdf:
+        if (cl.udf != nullptr && cl.udf->kind == UdfKind::kFunction &&
+            !cl.udf_args.empty()) {
+          bind_plain(cl.udf_args.back());
+        }
+        break;
+      case CLiteral::Kind::kAtom: {
+        if (cl.negated) break;
+        AtomStep step;
+        step.body_idx = k;
+        step.arity = static_cast<int>(cl.args.size());
+        for (int arg : cl.args) {
+          if (PoolTermBound(rule, arg, bound)) ++step.bound_args;
+        }
+        steps.push_back(step);
+        for (int arg : cl.args) bind_plain(arg);
+        break;
+      }
+    }
+  }
+  return steps;
+}
+
+/// Lowercases and strips `-`/`_` so `Receive_Message` ~ `receive-message`.
+std::string NormalizePredName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '-' || c == '_') continue;
+    out.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  return out;
+}
+
+std::optional<Value> FoldTerm(const Term& t) {
+  switch (t.kind) {
+    case Term::Kind::kConstant:
+      return t.constant;
+    case Term::Kind::kArith: {
+      auto lhs = FoldTerm(*t.lhs);
+      auto rhs = FoldTerm(*t.rhs);
+      if (!lhs || !rhs) return std::nullopt;
+      Result<Value> folded = Status::OK();
+      switch (t.op) {
+        case '+':
+          folded = lhs->Add(*rhs);
+          break;
+        case '-':
+          folded = lhs->Sub(*rhs);
+          break;
+        case '*':
+          folded = lhs->Mul(*rhs);
+          break;
+        case '/':
+          folded = lhs->Div(*rhs);
+          break;
+        default:
+          return std::nullopt;
+      }
+      if (!folded.ok()) return std::nullopt;
+      return *folded;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PQL3001: rules no query output depends on
+
+class UnreachableRulePass final : public LintPass {
+ public:
+  const char* name() const override { return "unreachable-rule"; }
+  const char* code() const override { return "PQL3001"; }
+  void Run(const LintInput& input, const LintOptions&,
+           DiagnosticSink& sink) const override {
+    const Program& program = *input.program;
+    std::map<std::string, std::vector<const Rule*>> defined;
+    for (const Rule& rule : program.rules) {
+      defined[rule.head_predicate].push_back(&rule);
+    }
+    // A defined predicate is an output root unless some rule with a
+    // *different* head reads it (self-recursion does not consume).
+    std::set<std::string> consumed;
+    for (const Rule& rule : program.rules) {
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+        const std::string& read = lit.atom.predicate;
+        if (read != rule.head_predicate && defined.count(read) > 0) {
+          consumed.insert(read);
+        }
+      }
+    }
+    std::vector<std::string> work;
+    std::set<std::string> reachable;
+    for (const auto& [name, rules] : defined) {
+      if (consumed.count(name) == 0) {
+        reachable.insert(name);
+        work.push_back(name);
+      }
+    }
+    while (!work.empty()) {
+      const std::string name = std::move(work.back());
+      work.pop_back();
+      for (const Rule* rule : defined[name]) {
+        for (const BodyLiteral& lit : rule->body) {
+          if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+          const std::string& read = lit.atom.predicate;
+          if (defined.count(read) > 0 && reachable.insert(read).second) {
+            work.push_back(read);
+          }
+        }
+      }
+    }
+    for (const auto& [name, rules] : defined) {
+      if (reachable.count(name) > 0) continue;
+      for (const Rule* rule : rules) {
+        sink.Warning(code(), rule->name_span,
+                     "rule defines '" + name +
+                         "', which no query output depends on "
+                         "(unreachable rule)");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PQL3002: body variable used exactly once
+
+class SingletonVariablePass final : public LintPass {
+ public:
+  const char* name() const override { return "singleton-variable"; }
+  const char* code() const override { return "PQL3002"; }
+  void Run(const LintInput& input, const LintOptions&,
+           DiagnosticSink& sink) const override {
+    for (const Rule& rule : input.program->rules) {
+      const std::vector<VarOcc> occ = RuleVarOccurrences(rule);
+      std::map<std::string, int> counts;
+      for (const VarOcc& o : occ) ++counts[o.name];
+      for (const VarOcc& o : occ) {
+        if (counts[o.name] != 1 || o.in_head) continue;
+        if (!o.name.empty() && o.name[0] == '_') continue;
+        Diagnostic& d = sink.Warning(
+            code(), o.span,
+            "variable '" + o.name +
+                "' is used only once; prefix with '_' if intentional");
+        FixIt fix;
+        fix.span = o.span;
+        fix.replacement = "_" + o.name;
+        d.fixits.push_back(std::move(fix));
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PQL3003 / PQL3004: shadowing and confusable predicate names
+
+class ShadowedPredicatePass final : public LintPass {
+ public:
+  const char* name() const override { return "shadowed-predicate"; }
+  const char* code() const override { return "PQL3003"; }
+  void Run(const LintInput& input, const LintOptions& options,
+           DiagnosticSink& sink) const override {
+    std::map<std::string, std::string> builtin_by_norm;
+    for (const EdbSchema& e : input.catalog->entries()) {
+      builtin_by_norm[NormalizePredName(e.name)] = e.name;
+    }
+    std::set<std::string> reported_shadow;
+    std::set<std::string> reported_confusable;
+    auto check_confusable = [&](const std::string& name, const Span& span) {
+      if (options.disabled.count("PQL3004") > 0) return;
+      if (input.catalog->Find(name) != nullptr) return;  // exact or alias
+      if (input.udfs != nullptr && input.udfs->Find(name) != nullptr) return;
+      if (input.store != nullptr && input.store->Find(name) != nullptr) return;
+      auto it = builtin_by_norm.find(NormalizePredName(name));
+      if (it == builtin_by_norm.end()) return;
+      if (!reported_confusable.insert(name).second) return;
+      sink.Warning("PQL3004", span,
+                   "predicate '" + name +
+                       "' is confusingly similar to built-in '" + it->second +
+                       "'");
+    };
+    for (const Rule& rule : input.program->rules) {
+      if (input.store != nullptr &&
+          input.store->Find(rule.head_predicate) != nullptr &&
+          reported_shadow.insert(rule.head_predicate).second) {
+        sink.Warning(code(), rule.name_span,
+                     "rule head '" + rule.head_predicate +
+                         "' shadows a stored relation of the same name");
+      }
+      check_confusable(rule.head_predicate, rule.name_span);
+      for (const BodyLiteral& lit : rule.body) {
+        if (lit.kind != BodyLiteral::Kind::kAtom) continue;
+        check_confusable(lit.atom.predicate, lit.atom.name_span);
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PQL3005: join with no shared bound variables
+
+class CartesianProductPass final : public LintPass {
+ public:
+  const char* name() const override { return "cartesian-product"; }
+  const char* code() const override { return "PQL3005"; }
+  bool needs_query() const override { return true; }
+  void Run(const LintInput& input, const LintOptions&,
+           DiagnosticSink& sink) const override {
+    for (const CompiledRule& rule : input.query->rules()) {
+      const std::vector<AtomStep> steps = ReplayPlan(rule);
+      for (size_t s = 1; s < steps.size(); ++s) {
+        if (steps[s].arity == 0 || steps[s].bound_args > 0) continue;
+        const CLiteral& cl = rule.body[steps[s].body_idx];
+        sink.Warning(code(), cl.span,
+                     "atom '" + input.query->pred(cl.pred).name +
+                         "' shares no bound variables with earlier atoms "
+                         "(cartesian product)");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PQL3006: negating a recursive predicate
+
+class NegatedRecursionPass final : public LintPass {
+ public:
+  const char* name() const override { return "negated-recursion"; }
+  const char* code() const override { return "PQL3006"; }
+  bool needs_query() const override { return true; }
+  void Run(const LintInput& input, const LintOptions&,
+           DiagnosticSink& sink) const override {
+    const AnalyzedQuery& q = *input.query;
+    // pred -> IDB preds its defining rules read.
+    std::map<int, std::set<int>> deps;
+    for (const CompiledRule& rule : q.rules()) {
+      for (int p : rule.body_preds) {
+        if (q.pred(p).is_idb()) deps[rule.head_pred].insert(p);
+      }
+    }
+    auto recursive = [&](int start) {
+      std::vector<int> work(deps[start].begin(), deps[start].end());
+      std::set<int> seen(work.begin(), work.end());
+      while (!work.empty()) {
+        const int p = work.back();
+        work.pop_back();
+        if (p == start) return true;
+        for (int next : deps[p]) {
+          if (seen.insert(next).second) work.push_back(next);
+        }
+      }
+      return false;
+    };
+    for (const CompiledRule& rule : q.rules()) {
+      for (const CLiteral& cl : rule.body) {
+        if (cl.kind != CLiteral::Kind::kAtom || !cl.negated) continue;
+        if (!q.pred(cl.pred).is_idb() || !recursive(cl.pred)) continue;
+        sink.Warning(code(), cl.span,
+                     "negation over recursive predicate '" +
+                         q.pred(cl.pred).name +
+                         "' — its extent may grow across layers, making "
+                         "the negation expensive to maintain online");
+      }
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PQL3007 / PQL3008: constant-foldable comparisons
+
+class ConstantComparisonPass final : public LintPass {
+ public:
+  const char* name() const override { return "constant-comparison"; }
+  const char* code() const override { return "PQL3007"; }
+  void Run(const LintInput& input, const LintOptions& options,
+           DiagnosticSink& sink) const override {
+    for (const Rule& rule : input.program->rules) {
+      for (size_t k = 0; k < rule.body.size(); ++k) {
+        const BodyLiteral& lit = rule.body[k];
+        if (lit.kind != BodyLiteral::Kind::kComparison) continue;
+        const auto lhs = FoldTerm(lit.comparison.lhs);
+        const auto rhs = FoldTerm(lit.comparison.rhs);
+        if (!lhs || !rhs) continue;
+        const Result<int> cmp = lhs->NumericCompare(*rhs);
+        if (!cmp.ok()) continue;
+        bool truth = false;
+        switch (lit.comparison.op) {
+          case ComparisonOp::kEq: truth = *cmp == 0; break;
+          case ComparisonOp::kNe: truth = *cmp != 0; break;
+          case ComparisonOp::kLt: truth = *cmp < 0; break;
+          case ComparisonOp::kLe: truth = *cmp <= 0; break;
+          case ComparisonOp::kGt: truth = *cmp > 0; break;
+          case ComparisonOp::kGe: truth = *cmp >= 0; break;
+        }
+        if (truth) {
+          Diagnostic& d = sink.Warning(
+              code(), lit.span(),
+              "comparison '" + lit.ToString() +
+                  "' is always true (redundant literal)");
+          AddRemovalFixit(rule, k, d);
+        } else if (options.disabled.count("PQL3008") == 0) {
+          sink.Warning("PQL3008", lit.span(),
+                       "comparison '" + lit.ToString() +
+                           "' is always false (rule can never fire)");
+        }
+      }
+    }
+  }
+
+ private:
+  /// Removes body literal `k` together with one adjacent comma: the span
+  /// from the end of the previous literal (covering ", lit") or, for the
+  /// first of several literals, from its start to the next literal's
+  /// start. A one-literal body gets no fixit (the rule would be emptied).
+  static void AddRemovalFixit(const Rule& rule, size_t k, Diagnostic& d) {
+    const Span& cur = rule.body[k].span();
+    if (!cur.valid()) return;
+    FixIt fix;
+    fix.replacement = "";
+    if (k > 0) {
+      const Span& prev = rule.body[k - 1].span();
+      if (!prev.valid()) return;
+      const size_t start = prev.offset + static_cast<size_t>(prev.length);
+      fix.span = cur;
+      fix.span.offset = start;
+      fix.span.length =
+          static_cast<int>(cur.offset + static_cast<size_t>(cur.length) - start);
+    } else if (rule.body.size() > 1) {
+      const Span& next = rule.body[1].span();
+      if (!next.valid()) return;
+      fix.span = cur;
+      fix.span.length = static_cast<int>(next.offset - cur.offset);
+    } else {
+      return;
+    }
+    d.fixits.push_back(std::move(fix));
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PQL3009: parameter provided but never used
+
+class UnusedParameterPass final : public LintPass {
+ public:
+  const char* name() const override { return "unused-parameter"; }
+  const char* code() const override { return "PQL3009"; }
+  void Run(const LintInput& input, const LintOptions& options,
+           DiagnosticSink& sink) const override {
+    std::set<std::string> reported;
+    for (const std::string& name : options.provided_params) {
+      if (input.program_params.count(name) > 0) continue;
+      if (!reported.insert(name).second) continue;
+      sink.Warning(code(), Span{},
+                   "parameter $" + name +
+                       " was provided but the program never uses it");
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// PQL3010: nested full scans in the compiled plan
+
+class FullScanPlanPass final : public LintPass {
+ public:
+  const char* name() const override { return "full-scan-plan"; }
+  const char* code() const override { return "PQL3010"; }
+  bool needs_query() const override { return true; }
+  void Run(const LintInput& input, const LintOptions&,
+           DiagnosticSink& sink) const override {
+    for (const CompiledRule& rule : input.query->rules()) {
+      int full_scans = 0;
+      for (const AtomStep& step : ReplayPlan(rule)) {
+        if (step.arity > 0 && step.bound_args == 0) ++full_scans;
+      }
+      if (full_scans < 2) continue;
+      sink.Warning(code(), rule.name_span,
+                   "plan evaluates " + std::to_string(full_scans) +
+                       " atoms with no bound columns (estimated O(N^" +
+                       std::to_string(full_scans) +
+                       ") nested full scans); add a join variable or "
+                       "comparison binding");
+    }
+  }
+};
+
+}  // namespace
+
+const std::vector<const LintPass*>& LintRegistry() {
+  static const UnreachableRulePass unreachable;
+  static const SingletonVariablePass singleton;
+  static const ShadowedPredicatePass shadowed;
+  static const CartesianProductPass cartesian;
+  static const NegatedRecursionPass negated_recursion;
+  static const ConstantComparisonPass constant_comparison;
+  static const UnusedParameterPass unused_parameter;
+  static const FullScanPlanPass full_scan;
+  static const std::vector<const LintPass*> passes = {
+      &unreachable,        &singleton,           &shadowed, &cartesian,
+      &negated_recursion,  &constant_comparison, &unused_parameter,
+      &full_scan,
+  };
+  return passes;
+}
+
+void RunLintPasses(const LintInput& input, const LintOptions& options,
+                   DiagnosticSink& sink) {
+  for (const LintPass* pass : LintRegistry()) {
+    if (options.disabled.count(pass->code()) > 0) continue;
+    if (pass->needs_query() && input.query == nullptr) continue;
+    if (input.program == nullptr && !pass->needs_query() &&
+        std::string(pass->code()) != "PQL3009") {
+      continue;
+    }
+    pass->Run(input, options, sink);
+  }
+}
+
+}  // namespace ariadne::lint

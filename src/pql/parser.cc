@@ -31,18 +31,28 @@ bool LookupAggregate(const std::string& name, AggregateFn* out) {
   return true;
 }
 
+/// Recursive-descent parser with rule-granularity error recovery: a syntax
+/// error inside a rule is reported to the sink, the parser skips to the
+/// next '.' and resumes with the following rule, so one pass reports every
+/// malformed rule instead of bailing at the first.
 class Parser {
  public:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  Parser(std::vector<Token> tokens, DiagnosticSink& sink)
+      : tokens_(std::move(tokens)), sink_(sink) {}
 
-  Result<Program> ParseProgram() {
+  Program ParseProgramRecovering() {
     Program program;
     while (Peek().kind != TokenKind::kEof) {
-      ARIADNE_ASSIGN_OR_RETURN(Rule rule, ParseRule());
-      program.rules.push_back(std::move(rule));
+      const size_t before = pos_;
+      auto rule = ParseRule();
+      if (rule.ok()) {
+        program.rules.push_back(std::move(*rule));
+      } else {
+        Synchronize(before);
+      }
     }
-    if (program.rules.empty()) {
-      return Status::ParseError("empty PQL program");
+    if (program.rules.empty() && !sink_.has_errors()) {
+      sink_.Error("PQL1005", Span{}, "empty PQL program");
     }
     return program;
   }
@@ -51,6 +61,7 @@ class Parser {
     Rule rule;
     ARIADNE_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent, "rule head"));
     rule.head_predicate = name.text;
+    rule.name_span = TokenSpan(name);
     ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kLParen, "'(' after head"));
     for (;;) {
       ARIADNE_ASSIGN_OR_RETURN(HeadTerm term, ParseHeadTerm());
@@ -73,6 +84,7 @@ class Parser {
       break;
     }
     ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kDot, "'.' at end of rule"));
+    rule.span = JoinSpans(rule.name_span, TokenSpan(Prev()));
     return rule;
   }
 
@@ -81,10 +93,23 @@ class Parser {
     const size_t i = std::min(pos_ + ahead, tokens_.size() - 1);
     return tokens_[i];
   }
+  const Token& Prev() const {
+    return tokens_[pos_ > 0 ? pos_ - 1 : 0];
+  }
   Token Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
 
-  Status Error(const std::string& message) const {
+  /// Skips past the next '.' (or to EOF) after a failed rule; guarantees
+  /// forward progress even when the error consumed nothing.
+  void Synchronize(size_t before) {
+    if (pos_ == before && Peek().kind != TokenKind::kEof) Advance();
+    while (Peek().kind != TokenKind::kEof) {
+      if (Advance().kind == TokenKind::kDot) return;
+    }
+  }
+
+  Status Error(const std::string& message) {
     const Token& t = Peek();
+    sink_.Error("PQL1004", TokenSpan(t), message);
     return Status::ParseError("line " + std::to_string(t.line) + ":" +
                               std::to_string(t.column) + ": " + message);
   }
@@ -105,6 +130,7 @@ class Parser {
     if (Peek().kind == TokenKind::kIdent &&
         Peek(1).kind == TokenKind::kLParen &&
         LookupAggregate(Peek().text, &fn)) {
+      const Span start = TokenSpan(Peek());
       Advance();  // AGGR
       Advance();  // (
       ARIADNE_ASSIGN_OR_RETURN(Token var, Expect(TokenKind::kIdent,
@@ -114,17 +140,21 @@ class Parser {
       head.is_aggregate = true;
       head.aggregate = fn;
       head.aggregate_arg = Term::Var(var.text);
+      head.aggregate_arg.span = TokenSpan(var);
+      head.span = JoinSpans(start, TokenSpan(Prev()));
       return head;
     }
     ARIADNE_ASSIGN_OR_RETURN(head.term, ParseTerm());
+    head.span = head.term.span;
     return head;
   }
 
   Result<BodyLiteral> ParseLiteral() {
     if (Peek().kind == TokenKind::kBang) {
-      Advance();
+      const Span start = TokenSpan(Advance());
       ARIADNE_ASSIGN_OR_RETURN(AtomLiteral atom, ParseAtom());
       atom.negated = true;
+      atom.span = JoinSpans(start, atom.span);
       return BodyLiteral::MakeAtom(std::move(atom));
     }
     // Atom iff ident followed by '(' and not a comparison/arith context:
@@ -161,6 +191,7 @@ class Parser {
     }
     Advance();
     ARIADNE_ASSIGN_OR_RETURN(cmp.rhs, ParseTerm());
+    cmp.span = JoinSpans(cmp.lhs.span, cmp.rhs.span);
     return BodyLiteral::MakeComparison(std::move(cmp));
   }
 
@@ -169,6 +200,7 @@ class Parser {
     ARIADNE_ASSIGN_OR_RETURN(Token name,
                              Expect(TokenKind::kIdent, "predicate name"));
     atom.predicate = name.text;
+    atom.name_span = TokenSpan(name);
     ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kLParen,
                                      "'(' after predicate name"));
     for (;;) {
@@ -182,6 +214,7 @@ class Parser {
     }
     ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kRParen,
                                      "')' after atom arguments"));
+    atom.span = JoinSpans(atom.name_span, TokenSpan(Prev()));
     return atom;
   }
 
@@ -192,7 +225,9 @@ class Parser {
            Peek().kind == TokenKind::kMinus) {
       const char op = Advance().kind == TokenKind::kPlus ? '+' : '-';
       ARIADNE_ASSIGN_OR_RETURN(Term rhs, ParseFactor());
+      const Span span = JoinSpans(lhs.span, rhs.span);
       lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+      lhs.span = span;
     }
     return lhs;
   }
@@ -204,39 +239,65 @@ class Parser {
            Peek().kind == TokenKind::kSlash) {
       const char op = Advance().kind == TokenKind::kStar ? '*' : '/';
       ARIADNE_ASSIGN_OR_RETURN(Term rhs, ParsePrimary());
+      const Span span = JoinSpans(lhs.span, rhs.span);
       lhs = Term::Arith(op, std::move(lhs), std::move(rhs));
+      lhs.span = span;
     }
     return lhs;
   }
 
   Result<Term> ParsePrimary() {
     switch (Peek().kind) {
-      case TokenKind::kIdent:
-        return Term::Var(Advance().text);
-      case TokenKind::kParam:
-        return Term::Param(Advance().text);
+      case TokenKind::kIdent: {
+        const Token t = Advance();
+        Term term = Term::Var(t.text);
+        term.span = TokenSpan(t);
+        return term;
+      }
+      case TokenKind::kParam: {
+        const Token t = Advance();
+        Term term = Term::Param(t.text);
+        term.span = TokenSpan(t);
+        return term;
+      }
       case TokenKind::kInt:
       case TokenKind::kDouble:
-      case TokenKind::kString:
-        return Term::Const(Advance().literal);
+      case TokenKind::kString: {
+        const Token t = Advance();
+        Term term = Term::Const(t.literal);
+        term.span = TokenSpan(t);
+        return term;
+      }
       case TokenKind::kMinus: {
         // Unary minus on a numeric literal.
+        const Span start = TokenSpan(Peek());
         Advance();
         if (Peek().kind == TokenKind::kInt) {
-          return Term::Const(Value(-Advance().literal.AsInt()));
+          const Token t = Advance();
+          Term term = Term::Const(Value(-t.literal.AsInt()));
+          term.span = JoinSpans(start, TokenSpan(t));
+          return term;
         }
         if (Peek().kind == TokenKind::kDouble) {
-          return Term::Const(Value(-Advance().literal.AsDouble()));
+          const Token t = Advance();
+          Term term = Term::Const(Value(-t.literal.AsDouble()));
+          term.span = JoinSpans(start, TokenSpan(t));
+          return term;
         }
         ARIADNE_ASSIGN_OR_RETURN(Term inner, ParsePrimary());
-        return Term::Arith('-', Term::Const(Value(int64_t{0})),
-                           std::move(inner));
+        const Span span = JoinSpans(start, inner.span);
+        Term term = Term::Arith('-', Term::Const(Value(int64_t{0})),
+                                std::move(inner));
+        term.span = span;
+        return term;
       }
       case TokenKind::kLParen: {
+        const Span start = TokenSpan(Peek());
         Advance();
         ARIADNE_ASSIGN_OR_RETURN(Term inner, ParseTerm());
         ARIADNE_RETURN_NOT_OK(ExpectOnly(TokenKind::kRParen,
                                          "')' closing parenthesized term"));
+        inner.span = JoinSpans(start, TokenSpan(Prev()));
         return inner;
       }
       default:
@@ -245,19 +306,28 @@ class Parser {
   }
 
   std::vector<Token> tokens_;
+  DiagnosticSink& sink_;
   size_t pos_ = 0;
 };
 
 }  // namespace
 
+Program ParseProgram(const std::string& text, DiagnosticSink& sink) {
+  std::vector<Token> tokens = Tokenize(text, sink);
+  return Parser(std::move(tokens), sink).ParseProgramRecovering();
+}
+
 Result<Program> ParseProgram(const std::string& text) {
-  ARIADNE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  return Parser(std::move(tokens)).ParseProgram();
+  DiagnosticSink sink;
+  Program program = ParseProgram(text, sink);
+  if (sink.has_errors()) return sink.FirstErrorStatus();
+  return program;
 }
 
 Result<Rule> ParseRule(const std::string& text) {
+  DiagnosticSink sink;
   ARIADNE_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(text));
-  return Parser(std::move(tokens)).ParseRule();
+  return Parser(std::move(tokens), sink).ParseRule();
 }
 
 }  // namespace ariadne

@@ -26,6 +26,12 @@ namespace ariadne {
 /// (case-insensitive).
 Result<Program> ParseProgram(const std::string& text);
 
+/// Recovering variant: syntax errors are reported to `sink` (with source
+/// spans) and parsing resumes at the next '.', so a single pass surfaces
+/// every malformed rule. Returns the rules that did parse (possibly
+/// none); callers should check `sink.has_errors()`.
+Program ParseProgram(const std::string& text, DiagnosticSink& sink);
+
 /// Convenience: parse a single rule.
 Result<Rule> ParseRule(const std::string& text);
 

@@ -1,0 +1,26 @@
+// ariadne_lint: static analyzer for PQL programs.
+//
+// Runs the full front end (lexer, recovering parser, semantic analysis)
+// plus the lint passes over one or more .pql files or directories, and
+// reports every diagnostic in one invocation — text (clang-style carets),
+// JSON, or SARIF 2.1.0 for code-scanning UIs.
+//
+// Exit codes: 0 clean or warnings only; 1 errors (or warnings under
+// --Werror); 2 usage or IO errors. See --help for flags and the `%!`
+// per-file pragma syntax.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "pql/lint/driver.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  std::string out;
+  std::string err;
+  const int code = ariadne::lint::RunAriadneLint(args, &out, &err);
+  if (!out.empty()) std::fputs(out.c_str(), stdout);
+  if (!err.empty()) std::fputs(err.c_str(), stderr);
+  return code;
+}

@@ -10,7 +10,13 @@
 // between vertices, the evaluation modes the query is eligible for, and
 // whether capture would take the compiled fast path.
 //
-// Exit code 0 iff the query is valid.
+// Exit-code contract (shared with ariadne_lint):
+//   0  the query parsed, bound and analyzed cleanly
+//   1  the query is invalid (parse, parameter or analysis errors)
+//   2  usage errors or file IO failures (missing/unreadable input)
+//
+// For multi-error reporting with source spans, fixits and SARIF output,
+// use ariadne_lint; pql_check keeps the strict single-query contract.
 
 #include <cstdio>
 #include <cstring>
@@ -84,7 +90,7 @@ int main(int argc, char** argv) {
   auto text = ReadFile(path);
   if (!text.ok()) {
     std::fprintf(stderr, "error: %s\n", text.status().ToString().c_str());
-    return 1;
+    return 2;  // IO failure, not a query problem
   }
   auto program = ParseProgram(*text);
   if (!program.ok()) {
