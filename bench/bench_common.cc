@@ -222,84 +222,6 @@ std::string Ratio(double value, double baseline) {
   return FormatDouble(value / baseline, 2) + "x";
 }
 
-std::string JsonEscape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-JsonObject& JsonObject::Set(const std::string& key, const std::string& value) {
-  fields_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
-  return *this;
-}
-
-JsonObject& JsonObject::Set(const std::string& key, const char* value) {
-  return Set(key, std::string(value));
-}
-
-JsonObject& JsonObject::Set(const std::string& key, double value) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", value);
-  fields_.emplace_back(key, buf);
-  return *this;
-}
-
-JsonObject& JsonObject::Set(const std::string& key, int64_t value) {
-  fields_.emplace_back(key, std::to_string(value));
-  return *this;
-}
-
-JsonObject& JsonObject::SetRaw(const std::string& key, std::string raw_json) {
-  fields_.emplace_back(key, std::move(raw_json));
-  return *this;
-}
-
-std::string JsonObject::Dump() const {
-  std::string out = "{";
-  for (size_t i = 0; i < fields_.size(); ++i) {
-    if (i > 0) out += ", ";
-    out += "\"" + JsonEscape(fields_[i].first) + "\": " + fields_[i].second;
-  }
-  return out + "}";
-}
-
-std::string JsonArray(const std::vector<std::string>& elements, int indent) {
-  if (elements.empty()) return "[]";
-  if (indent <= 0) {
-    std::string out = "[";
-    for (size_t i = 0; i < elements.size(); ++i) {
-      if (i > 0) out += ", ";
-      out += elements[i];
-    }
-    return out + "]";
-  }
-  const std::string pad(static_cast<size_t>(indent), ' ');
-  std::string out = "[\n";
-  for (size_t i = 0; i < elements.size(); ++i) {
-    out += pad + elements[i];
-    out += (i + 1 < elements.size()) ? ",\n" : "\n";
-  }
-  out += std::string(static_cast<size_t>(indent > 2 ? indent - 2 : 0), ' ');
-  return out + "]";
-}
-
 std::string ConsumeJsonFlag(int* argc, char** argv) {
   std::string path;
   int out = 1;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/json.h"
 #include "core/ariadne.h"
 
 namespace ariadne::bench {
@@ -82,34 +83,13 @@ void PrintBanner(const std::string& experiment, const std::string& paper_says);
 std::string Ratio(double value, double baseline);
 
 // ------------------------------------------------------------------ JSON
-// Minimal JSON emission for `--json out.json` bench modes (BENCH_*.json
-// artifacts); avoids an external JSON dependency.
+// JSON emission lives in common/json.h (shared with ariadne_run
+// --stats-json and ariadne_serve); these aliases keep existing bench
+// call sites (`bench::JsonObject`, ...) source-compatible.
 
-/// Escapes `s` for a JSON string literal (surrounding quotes not added).
-std::string JsonEscape(const std::string& s);
-
-/// Order-preserving object builder producing compact one-line JSON.
-class JsonObject {
- public:
-  JsonObject& Set(const std::string& key, const std::string& value);
-  JsonObject& Set(const std::string& key, const char* value);
-  JsonObject& Set(const std::string& key, double value);
-  JsonObject& Set(const std::string& key, int64_t value);
-  JsonObject& Set(const std::string& key, int value) {
-    return Set(key, static_cast<int64_t>(value));
-  }
-  /// Splices `raw_json` in verbatim (nested objects/arrays).
-  JsonObject& SetRaw(const std::string& key, std::string raw_json);
-  std::string Dump() const;
-
- private:
-  std::vector<std::pair<std::string, std::string>> fields_;
-};
-
-/// Renders `[e1, e2, ...]` from already-serialized elements; when
-/// `indent > 0` each element sits on its own line at that indentation.
-std::string JsonArray(const std::vector<std::string>& elements,
-                      int indent = 0);
+using json::JsonEscape;
+using json::JsonObject;
+using json::JsonArray;
 
 /// Removes `--json <path>` / `--json=<path>` from the argument list (so
 /// the rest can go to benchmark::Initialize) and returns the path, or ""

@@ -1,0 +1,47 @@
+#ifndef ARIADNE_COMMON_JSON_H_
+#define ARIADNE_COMMON_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ariadne::json {
+
+// Minimal JSON emission shared by the bench harness (`--json out.json`
+// sweeps), `ariadne_run --stats-json`, and `ariadne_serve`; avoids an
+// external JSON dependency.
+
+/// Escapes `s` for a JSON string literal (surrounding quotes not added).
+std::string JsonEscape(const std::string& s);
+
+/// Order-preserving object builder producing compact one-line JSON.
+class JsonObject {
+ public:
+  JsonObject& Set(const std::string& key, const std::string& value);
+  JsonObject& Set(const std::string& key, const char* value);
+  JsonObject& Set(const std::string& key, double value);
+  JsonObject& Set(const std::string& key, int64_t value);
+  JsonObject& Set(const std::string& key, uint64_t value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonObject& Set(const std::string& key, int value) {
+    return Set(key, static_cast<int64_t>(value));
+  }
+  JsonObject& Set(const std::string& key, bool value);
+  /// Splices `raw_json` in verbatim (nested objects/arrays).
+  JsonObject& SetRaw(const std::string& key, std::string raw_json);
+  std::string Dump() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+/// Renders `[e1, e2, ...]` from already-serialized elements; when
+/// `indent > 0` each element sits on its own line at that indentation.
+std::string JsonArray(const std::vector<std::string>& elements,
+                      int indent = 0);
+
+}  // namespace ariadne::json
+
+#endif  // ARIADNE_COMMON_JSON_H_

@@ -171,8 +171,10 @@ class Session {
   }
 
   /// Offline querying of a captured store (paper Fig 1b): layered
-  /// (directed queries) or naive (any query).
-  Result<OfflineRun> RunOffline(ProvenanceStore* store,
+  /// (directed queries) or naive (any query). The store is only read —
+  /// concurrent RunOffline calls over one store are safe (the serve
+  /// subsystem relies on this; see DESIGN.md §2.6).
+  Result<OfflineRun> RunOffline(const ProvenanceStore* store,
                                 const AnalyzedQuery& query,
                                 EvalMode mode) const {
     switch (mode) {

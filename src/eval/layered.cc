@@ -1,339 +1,37 @@
 #include "eval/layered.h"
 
-#include <algorithm>
-#include <span>
-#include <unordered_map>
-
 #include "common/timer.h"
-#include "engine/engine.h"
+#include "eval/layered_step.h"
 
 namespace ariadne {
 
-namespace {
-
-/// Dedicated ship message for offline layered evaluation.
-struct ShipMessage {
-  ShipBundlePtr ships;
-};
-
-/// The query-as-vertex-program (paper §2: "translates provenance query
-/// evaluation to ordinary vertex programs"). Superstep t processes layer
-/// t (forward) or layer n-1-t (backward).
-class LayeredProgram final : public VertexProgram<char, ShipMessage> {
- public:
-  LayeredProgram(const Graph* graph, ProvenanceStore* store,
-                 const AnalyzedQuery* query)
-      : graph_(graph), store_(store), query_(query), evaluator_(query) {
-    descending_ = query_->direction() == Direction::kBackward;
-    // Stored relation -> query predicate resolution (by name).
-    rel_to_pred_.resize(store_->schema().size(), -1);
-    for (size_t r = 0; r < store_->schema().size(); ++r) {
-      rel_to_pred_[r] = query_->PredId(store_->schema()[r].name);
-    }
-    // Ship routing follows the *recorded* message edges of the store,
-    // independent of whether the query itself reads them.
-    send_rel_ = store_->RelId("send-message");
-    receive_rel_ = store_->RelId("receive-message");
-    // Relations this query actually touches (query predicates + the
-    // message edges used for routing). Layer reads are restricted to
-    // them, so e.g. a query over send-message never decompresses
-    // vertex-value pages.
-    for (size_t r = 0; r < rel_to_pred_.size(); ++r) {
-      if (rel_to_pred_[r] >= 0 || static_cast<int>(r) == send_rel_ ||
-          static_cast<int>(r) == receive_rel_) {
-        needed_rels_.push_back(static_cast<int>(r));
-      }
-    }
-    if (needed_rels_.size() == rel_to_pred_.size()) {
-      needed_rels_.clear();  // all relations: no point filtering
-    }
-  }
-
-  Status Prepare() {
-    states_.clear();
-    states_.resize(static_cast<size_t>(graph_->num_vertices()));
-    // Adjacency fallback caches are filled lazily, each slot only by its
-    // own vertex's Compute, so sizing them here keeps the fill race-free.
-    adj_cache_.assign(3, std::vector<std::vector<VertexId>>(
-                             static_cast<size_t>(graph_->num_vertices())));
-    adj_filled_.assign(3, std::vector<uint8_t>(
-                              static_cast<size_t>(graph_->num_vertices()), 0));
-    // Index the static segment once.
-    static_index_.clear();
-    for (const auto& slice : store_->static_data().slices) {
-      static_index_[slice.vertex].push_back(&slice);
-    }
-    return LoadLayerForProcessingStep(0);
-  }
-
-  char InitialValue(VertexId, const Graph&) const override { return 0; }
-
-  void Compute(VertexContext<char, ShipMessage>& ctx,
-               std::span<const ShipMessage> messages) override {
-    const VertexId v = ctx.id();
-    NodeQueryState& st = states_[static_cast<size_t>(v)];
-    Database& db = st.EnsureDb(*query_);
-
-    bool touched = false;
-    for (const auto& m : messages) {
-      if (m.ships != nullptr) {
-        DeliverShips(db, *m.ships);
-        touched = true;
-      }
-    }
-    // Static facts on first activation.
-    if (ctx.superstep() == 0) {
-      auto it = static_index_.find(v);
-      if (it != static_index_.end()) {
-        for (const LayerSlice* slice : it->second) {
-          InsertSlice(db, *slice);
-        }
-        touched = true;
-      }
-    }
-    // This layer's facts for v.
-    auto it = layer_index_.find(v);
-    if (it != layer_index_.end()) {
-      for (const LayerSlice* slice : it->second) InsertSlice(db, *slice);
-      touched = true;
-    }
-    if (!touched && ctx.superstep() > 0) return;  // nothing new for v
-
-    EvalContext ectx;
-    ectx.db = &db;
-    ectx.graph = graph_;
-    ectx.local_vertex = v;
-    auto evaluated = evaluator_.Evaluate(ectx);
-    if (!evaluated.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (first_error_.ok()) first_error_ = evaluated.status();
-      return;
-    }
-
-    // Route fresh ship deltas per routing class.
-    if (query_->shipped_preds().empty()) return;
-    for (ShipRouting routing :
-         {ShipRouting::kAlongMessages, ShipRouting::kAlongReverseMessages,
-          ShipRouting::kAlongOutEdges, ShipRouting::kAlongInEdges}) {
-      ShipBundlePtr bundle =
-          CollectShipDeltaForRouting(*query_, st, v, routing);
-      if (bundle == nullptr) continue;
-      for (VertexId target : RoutingTargets(v, routing)) {
-        ctx.SendMessage(target, ShipMessage{bundle});
-      }
-    }
-    // Vertices never vote to halt: the driver halts after the last layer.
-  }
-
-  void MasterCompute(MasterContext& master) override {
-    peak_layer_bytes_ = std::max(peak_layer_bytes_, current_layer_bytes_);
-    const Superstep next = master.superstep + 1;
-    if (next >= static_cast<Superstep>(store_->num_layers())) {
-      master.halt = true;
-      return;
-    }
-    Status s = LoadLayerForProcessingStep(next);
-    if (!s.ok() && first_error_.ok()) first_error_ = s;
-  }
-
-  QueryResult CollectResult() const {
-    QueryResult result;
-    for (const auto& state : states_) {
-      if (state.db != nullptr) result.Merge(*query_, *state.db);
-    }
-    return result;
-  }
-
-  size_t StateBytes() const {
-    size_t bytes = 0;
-    for (const auto& state : states_) {
-      if (state.db != nullptr) bytes += state.db->TotalBytes();
-    }
-    return bytes;
-  }
-
-  EvalStats CollectEvalStats() const {
-    EvalStats merged;
-    for (const auto& state : states_) {
-      if (state.db != nullptr) merged.Merge(state.db->eval_stats());
-    }
-    return merged;
-  }
-
-  size_t peak_layer_bytes() const { return peak_layer_bytes_; }
-  const Status& status() const { return first_error_; }
-
- private:
-  void InsertSlice(Database& db, const LayerSlice& slice) {
-    const int pred = rel_to_pred_[static_cast<size_t>(slice.rel)];
-    if (pred < 0) return;  // relation not referenced by this query
-    Relation& rel = db.Rel(pred);
-    for (const Tuple& t : slice.tuples) rel.Insert(t);
-  }
-
-  Status LoadLayerForProcessingStep(Superstep processing_step) {
-    const int n = store_->num_layers();
-    const int layer_step = descending_
-                               ? n - 1 - static_cast<int>(processing_step)
-                               : static_cast<int>(processing_step);
-    ARIADNE_ASSIGN_OR_RETURN(current_layer_,
-                             store_->GetLayerRelations(layer_step,
-                                                       needed_rels_));
-    // Direction-aware prefetch: warm the pages of the layer the *next*
-    // superstep will read (ascending forward, descending backward) while
-    // this one computes.
-    const int next_step = descending_ ? layer_step - 1 : layer_step + 1;
-    if (next_step >= 0 && next_step < n) {
-      store_->PrefetchLayer(next_step, needed_rels_);
-    }
-    const Layer* layer = current_layer_.get();
-    layer_index_.clear();
-    route_out_.clear();
-    route_in_.clear();
-    for (const auto& slice : layer->slices) {
-      layer_index_[slice.vertex].push_back(&slice);
-      // This layer's message edges, for ship routing.
-      if (slice.rel == send_rel_) {
-        auto& targets = route_out_[slice.vertex];
-        for (const Tuple& t : slice.tuples) {
-          if (t.size() > 1 && t[1].is_int()) targets.push_back(t[1].AsInt());
-        }
-      } else if (slice.rel == receive_rel_) {
-        auto& sources = route_in_[slice.vertex];
-        for (const Tuple& t : slice.tuples) {
-          if (t.size() > 1 && t[1].is_int()) sources.push_back(t[1].AsInt());
-        }
-      }
-    }
-    for (auto* index : {&route_out_, &route_in_}) {
-      for (auto& [vertex, targets] : *index) SortUnique(targets);
-    }
-    current_layer_step_ = layer->step;
-    current_layer_bytes_ = layer->byte_size;
-    return Status::OK();
-  }
-
-  static void SortUnique(std::vector<VertexId>& ids) {
-    std::sort(ids.begin(), ids.end());
-    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  }
-
-  /// Lazily materializes the sorted-unique adjacency list for `v` in
-  /// cache plane `plane` (0 = both directions, 1 = out, 2 = in). Each
-  /// slot is written only by its own vertex's Compute, never shared.
-  std::span<const VertexId> CachedAdjacency(int plane, VertexId v) {
-    std::vector<VertexId>& slot =
-        adj_cache_[static_cast<size_t>(plane)][static_cast<size_t>(v)];
-    uint8_t& filled =
-        adj_filled_[static_cast<size_t>(plane)][static_cast<size_t>(v)];
-    if (!filled) {
-      if (plane != 2) {
-        auto nbrs = graph_->OutNeighbors(v);
-        slot.insert(slot.end(), nbrs.begin(), nbrs.end());
-      }
-      if (plane != 1) {
-        auto nbrs = graph_->InNeighbors(v);
-        slot.insert(slot.end(), nbrs.begin(), nbrs.end());
-      }
-      SortUnique(slot);
-      filled = 1;
-    }
-    return slot;
-  }
-
-  /// Neighbors a ship from `v` travels to under `routing`. Message-edge
-  /// routings follow the recorded send/receive records of the current
-  /// layer; when the store did not capture them (custom captures), fall
-  /// back to static adjacency in BOTH directions — overshipping is safe
-  /// (receivers merely hold extra copies), undershipping is not. The
-  /// returned span stays valid for the rest of the superstep (route maps
-  /// are rebuilt only between layers, adjacency caches are per vertex).
-  std::span<const VertexId> RoutingTargets(VertexId v, ShipRouting routing) {
-    const bool along_messages = routing == ShipRouting::kAlongMessages ||
-                                routing == ShipRouting::kAlongReverseMessages;
-    if (along_messages) {
-      const auto& index = routing == ShipRouting::kAlongMessages
-                              ? route_out_
-                              : route_in_;
-      const int rel = routing == ShipRouting::kAlongMessages ? send_rel_
-                                                             : receive_rel_;
-      if (rel >= 0) {
-        auto it = index.find(v);
-        if (it == index.end()) return {};
-        return it->second;
-      }
-      // Store lacks message records: conservative static fallback.
-      return CachedAdjacency(0, v);
-    }
-    return CachedAdjacency(routing == ShipRouting::kAlongOutEdges ? 1 : 2, v);
-  }
-
-  const Graph* graph_;
-  ProvenanceStore* store_;
-  const AnalyzedQuery* query_;
-  RuleEvaluator evaluator_;
-  bool descending_ = false;
-
-  std::vector<int> rel_to_pred_;
-  int send_rel_ = -1, receive_rel_ = -1;
-  /// Store relations the query reads (empty = all).
-  std::vector<int> needed_rels_;
-  /// Keeps the slices behind layer_index_ alive across store evictions.
-  std::shared_ptr<const Layer> current_layer_;
-
-  std::vector<NodeQueryState> states_;
-  std::unordered_map<VertexId, std::vector<const LayerSlice*>> static_index_;
-  std::unordered_map<VertexId, std::vector<const LayerSlice*>> layer_index_;
-  std::unordered_map<VertexId, std::vector<VertexId>> route_out_;
-  std::unordered_map<VertexId, std::vector<VertexId>> route_in_;
-  /// Lazy sorted-unique static-adjacency fallbacks, one plane per
-  /// direction class (both / out / in), one slot per vertex.
-  std::vector<std::vector<std::vector<VertexId>>> adj_cache_;
-  std::vector<std::vector<uint8_t>> adj_filled_;
-  Superstep current_layer_step_ = 0;
-  size_t current_layer_bytes_ = 0;
-  size_t peak_layer_bytes_ = 0;
-
-  std::mutex mu_;
-  Status first_error_;
-};
-
-}  // namespace
-
-LayeredEvaluator::LayeredEvaluator(const Graph* graph, ProvenanceStore* store,
+LayeredEvaluator::LayeredEvaluator(const Graph* graph,
+                                   const ProvenanceStore* store,
                                    const AnalyzedQuery* query,
                                    EngineOptions options)
     : graph_(graph), store_(store), query_(query), options_(options) {}
 
 Result<OfflineRun> LayeredEvaluator::Run() {
-  ARIADNE_RETURN_NOT_OK(ValidateMode(*query_, EvalMode::kLayered));
-  // A degraded capture (DESIGN.md §2.4) is missing history; refuse any
-  // query that reads a relation outside the surviving set.
-  ARIADNE_RETURN_NOT_OK(CheckDegradedCapture(*query_, *store_));
-  if (store_->num_layers() == 0) {
-    return Status::InvalidArgument("provenance store has no layers");
-  }
   WallTimer timer;
-  LayeredProgram program(graph_, store_, query_);
-  ARIADNE_RETURN_NOT_OK(program.Prepare());
-  EngineOptions engine_options = options_;
-  // Lemma 5.3: evaluation needs at most n supersteps (the driver halts
-  // after the last layer regardless).
-  engine_options.max_supersteps = store_->num_layers() + 1;
-  Engine<char, ShipMessage> engine(graph_, engine_options);
-  ARIADNE_ASSIGN_OR_RETURN(RunStats stats, engine.Run(program));
-  ARIADNE_RETURN_NOT_OK(program.status());
-
-  OfflineRun run;
-  run.result = program.CollectResult();
-  run.stats.seconds = timer.ElapsedSeconds();
-  run.stats.supersteps = stats.supersteps;
-  run.stats.peak_layer_bytes = program.peak_layer_bytes();
-  run.stats.materialized_bytes =
-      program.StateBytes() + program.peak_layer_bytes();
-  run.stats.result_tuples = run.result.TotalTuples();
-  run.stats.eval = program.CollectEvalStats();
-  return run;
+  LayeredQueryRun run(graph_, store_, query_);
+  ARIADNE_RETURN_NOT_OK(run.Init());
+  const int send_rel = store_->RelId("send-message");
+  const int receive_rel = store_->RelId("receive-message");
+  while (!run.done()) {
+    const int step = run.NextLayerStep();
+    ARIADNE_ASSIGN_OR_RETURN(
+        std::shared_ptr<const Layer> layer,
+        store_->GetLayerRelations(step, run.needed_rels()));
+    // Direction-aware prefetch: warm the pages of the layer the *next*
+    // step will read (ascending forward, descending backward) while this
+    // one computes.
+    const int after = run.LayerStepAfterNext();
+    if (after >= 0) store_->PrefetchLayer(after, run.needed_rels());
+    auto view = BuildLayerView(std::move(layer), step, send_rel, receive_rel,
+                               run.needed_rels());
+    ARIADNE_RETURN_NOT_OK(run.Step(*view));
+  }
+  return run.Finish(timer.ElapsedSeconds());
 }
 
 }  // namespace ariadne

@@ -9,25 +9,30 @@
 
 namespace ariadne {
 
-/// Layered offline evaluation (paper §5.1): the query runs as an ordinary
-/// vertex program on the VC engine over the input graph, materializing
-/// one provenance-graph layer per superstep — ascending for forward
-/// queries, descending for backward queries — and shipping remote tables
-/// along the recorded message edges (or static edges for edge-guarded
-/// queries). Memory stays bounded by one layer plus the per-vertex
-/// evaluation state, unlike naive evaluation.
+/// Layered offline evaluation (paper §5.1): the query runs as a vertex
+/// program over the input graph, materializing one provenance-graph layer
+/// per processing step — ascending for forward queries, descending for
+/// backward queries — and shipping remote tables along the recorded
+/// message edges (or static edges for edge-guarded queries). Memory stays
+/// bounded by one layer plus the per-vertex evaluation state, unlike
+/// naive evaluation.
+///
+/// This is the one-shot driver over the resumable LayeredQueryRun
+/// (eval/layered_step.h): it builds a private LayerView per step with
+/// direction-aware prefetch of the next layer. The serve scheduler drives
+/// the same run type but shares each LayerView across concurrent queries.
 class LayeredEvaluator {
  public:
   /// `query` must be analyzed offline (transient EDBs disallowed) against
   /// `store->ToStoreSchema()` and pass ValidateMode(kLayered).
-  LayeredEvaluator(const Graph* graph, ProvenanceStore* store,
+  LayeredEvaluator(const Graph* graph, const ProvenanceStore* store,
                    const AnalyzedQuery* query, EngineOptions options = {});
 
   Result<OfflineRun> Run();
 
  private:
   const Graph* graph_;
-  ProvenanceStore* store_;
+  const ProvenanceStore* store_;
   const AnalyzedQuery* query_;
   EngineOptions options_;
 };

@@ -25,7 +25,7 @@ struct NaiveShipMessage {
 /// beyond the two smallest datasets".
 class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
  public:
-  NaiveProgram(const Graph* graph, ProvenanceStore* store,
+  NaiveProgram(const Graph* graph, const ProvenanceStore* store,
                const AnalyzedQuery* query)
       : graph_(graph), store_(store), query_(query), evaluator_(query) {
     rel_to_pred_.resize(store_->schema().size(), -1);
@@ -70,7 +70,11 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
     };
     load(store_->static_data());
     for (int step = 0; step < store_->num_layers(); ++step) {
-      ARIADNE_ASSIGN_OR_RETURN(const Layer* layer, store_->GetLayer(step));
+      // GetLayerRelations (not GetLayer) keeps the store const: the
+      // returned shared_ptr owns the decoded layer until `load` copied
+      // its tuples out, without touching the store's loaded-layer slot.
+      ARIADNE_ASSIGN_OR_RETURN(std::shared_ptr<const Layer> layer,
+                               store_->GetLayerRelations(step, {}));
       load(*layer);
     }
     for (auto* index : {&route_out_, &route_in_}) {
@@ -214,7 +218,7 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
   }
 
   const Graph* graph_;
-  ProvenanceStore* store_;
+  const ProvenanceStore* store_;
   const AnalyzedQuery* query_;
   RuleEvaluator evaluator_;
   std::vector<int> rel_to_pred_;

@@ -16,7 +16,7 @@ namespace ariadne {
 class NaiveEvaluator {
  public:
   /// `query` must be analyzed offline against `store->ToStoreSchema()`.
-  NaiveEvaluator(const Graph* graph, ProvenanceStore* store,
+  NaiveEvaluator(const Graph* graph, const ProvenanceStore* store,
                  const AnalyzedQuery* query)
       : graph_(graph), store_(store), query_(query) {}
 
@@ -24,7 +24,7 @@ class NaiveEvaluator {
 
  private:
   const Graph* graph_;
-  ProvenanceStore* store_;
+  const ProvenanceStore* store_;
   const AnalyzedQuery* query_;
 };
 

@@ -80,11 +80,12 @@ Result<const Layer*> ProvenanceStore::GetLayer(int step) {
 }
 
 Result<std::shared_ptr<const Layer>> ProvenanceStore::GetLayerRelations(
-    int step, const std::vector<int>& rels) {
+    int step, const std::vector<int>& rels) const {
   return layers_->ReadRelations(step, rels);
 }
 
-void ProvenanceStore::PrefetchLayer(int step, const std::vector<int>& rels) {
+void ProvenanceStore::PrefetchLayer(int step,
+                                    const std::vector<int>& rels) const {
   layers_->Prefetch(step, rels);
 }
 

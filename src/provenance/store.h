@@ -74,19 +74,23 @@ class ProvenanceStore {
 
   /// The layer for superstep `step`, loading it from spill if necessary.
   /// The returned pointer is valid until the next GetLayer/AppendLayer.
+  /// NOT safe for concurrent callers (the pointer is kept alive by a
+  /// store member); concurrent readers use GetLayerRelations instead.
   Result<const Layer*> GetLayer(int step);
 
   /// Like GetLayer, but only the relations in `rels` are materialized
   /// (empty = all) — pages of other relations are never read or decoded.
   /// May return a relation superset when the full layer is already in
   /// memory. The shared_ptr keeps the data alive independently of the
-  /// store's eviction decisions.
+  /// store's eviction decisions. Const and thread-safe: any number of
+  /// concurrent readers (the serve scheduler's queries) may call this on
+  /// one store.
   Result<std::shared_ptr<const Layer>> GetLayerRelations(
-      int step, const std::vector<int>& rels);
+      int step, const std::vector<int>& rels) const;
 
   /// Asynchronous hint that `step` (restricted to `rels`) is about to be
   /// read. Layered evaluation issues these direction-aware. Best-effort.
-  void PrefetchLayer(int step, const std::vector<int>& rels);
+  void PrefetchLayer(int step, const std::vector<int>& rels) const;
 
   const Layer& static_data() const { return static_layer_; }
 

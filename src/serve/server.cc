@@ -1,0 +1,336 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <map>
+
+namespace ariadne::serve {
+
+namespace {
+
+/// Canonical coalescing key: program text plus name-sorted params.
+/// Two requests with equal keys ask the same question of the same
+/// (immutable) store and may share one evaluation.
+std::string RequestKey(const std::string& text, const QueryParams& params) {
+  std::vector<std::pair<std::string, std::string>> sorted;
+  sorted.reserve(params.size());
+  for (const auto& [name, value] : params) {
+    sorted.emplace_back(name, value.ToString());
+  }
+  std::sort(sorted.begin(), sorted.end());
+  std::string key = text;
+  for (const auto& [name, value] : sorted) {
+    key += '\x1f';
+    key += name;
+    key += '=';
+    key += value;
+  }
+  return key;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(const ServiceState* state, ServerOptions options)
+    : state_(state),
+      options_(options),
+      executor_(&state->store(), state->send_rel(), state->receive_rel(),
+                options.view_cache_capacity),
+      pool_(options.step_threads) {
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+QueryServer::~QueryServer() { Shutdown(); }
+
+std::future<ServeResponse> QueryServer::Submit(ServeRequest request) {
+  std::promise<ServeResponse> promise;
+  std::future<ServeResponse> future = promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.submitted;
+    if (stop_) {
+      ++stats_.rejected;
+      ServeResponse response;
+      response.name = request.name;
+      response.status = Status::OutOfRange("server is shutting down");
+      promise.set_value(std::move(response));
+      return future;
+    }
+    if (queue_.size() >= options_.queue_capacity) {
+      ++stats_.rejected;
+      ServeResponse response;
+      response.name = request.name;
+      response.status = Status::OutOfRange(
+          "admission queue full (" +
+          std::to_string(options_.queue_capacity) + " queries waiting)");
+      promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(Pending{std::move(request), std::move(promise), {}});
+  }
+  cv_.notify_one();
+  return future;
+}
+
+ServeResponse QueryServer::SubmitAndWait(ServeRequest request) {
+  return Submit(std::move(request)).get();
+}
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ && !scheduler_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+ServerStats QueryServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServerStats out = stats_;
+  out.scan = executor_.stats();
+  return out;
+}
+
+void QueryServer::Respond(std::unique_ptr<QueryContext> ctx, Status status,
+                          Result<OfflineRun>&& run) {
+  const Status outcome =
+      status.ok() ? (run.ok() ? Status::OK() : run.status()) : status;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t responses = 1 + ctx->followers.size();
+    if (outcome.ok()) {
+      stats_.completed += responses;
+    } else if (outcome.code() == StatusCode::kOutOfRange) {
+      stats_.expired += responses;
+    } else {
+      stats_.failed += responses;
+    }
+  }
+  const double exec_seconds = ctx->exec.ElapsedSeconds();
+
+  // Coalesced duplicates first: each gets its own result, re-derived
+  // from the run's final state (Finish is deterministic and
+  // re-callable), so followers and leader are byte-identical.
+  for (QueryContext::Follower& follower : ctx->followers) {
+    ServeResponse response;
+    response.name = follower.name;
+    response.queue_seconds = follower.queue_seconds;
+    response.exec_seconds = exec_seconds;
+    response.cache = ctx->cache;
+    if (outcome.ok()) {
+      Result<OfflineRun> again = ctx->run->Finish(exec_seconds);
+      if (again.ok()) {
+        OfflineRun finished = again.MoveValue();
+        response.stats = finished.stats;
+        response.result = std::move(finished.result);
+      } else {
+        response.status = again.status();
+      }
+    } else {
+      response.status = outcome;
+    }
+    follower.promise.set_value(std::move(response));
+  }
+
+  ServeResponse response;
+  response.name = ctx->name;
+  response.queue_seconds = ctx->queue_seconds;
+  response.exec_seconds = exec_seconds;
+  response.cache = ctx->cache;
+  if (outcome.ok()) {
+    OfflineRun finished = run.MoveValue();
+    response.stats = finished.stats;
+    response.result = std::move(finished.result);
+  } else {
+    response.status = outcome;
+  }
+  ctx->promise.set_value(std::move(response));
+}
+
+void QueryServer::Admit(Pending pending) {
+  // Identical in-flight query (same text + params over the immutable
+  // store)? Ride its evaluation instead of starting another.
+  const std::string key =
+      RequestKey(pending.request.text, pending.request.params);
+  for (const auto& inflight : inflight_) {
+    if (inflight->key != key) continue;
+    QueryContext::Follower follower;
+    follower.name = pending.request.name;
+    follower.promise = std::move(pending.promise);
+    follower.queue_seconds = pending.queued.ElapsedSeconds();
+    inflight->followers.push_back(std::move(follower));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.coalesced;
+    return;
+  }
+
+  auto ctx = std::make_unique<QueryContext>();
+  ctx->name = pending.request.name;
+  ctx->key = key;
+  ctx->promise = std::move(pending.promise);
+  ctx->queue_seconds = pending.queued.ElapsedSeconds();
+  const double deadline_ms = pending.request.deadline_ms >= 0.0
+                                 ? pending.request.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) {
+    ctx->deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                       std::chrono::duration<double, std::milli>(
+                                           deadline_ms));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.admitted;
+  }
+
+  auto prepared =
+      state_->Prepare(pending.request.text, pending.request.params);
+  if (!prepared.ok()) {
+    Respond(std::move(ctx), prepared.status(), prepared.status());
+    return;
+  }
+  ctx->query = std::make_unique<AnalyzedQuery>(prepared.MoveValue());
+  // A lazily-filled adjacency cache is not shareable across concurrent
+  // runs; only hand out the precomputed (immutable) one.
+  AdjacencyCache* adjacency = state_->adjacency()->precomputed()
+                                  ? state_->adjacency()
+                                  : nullptr;
+  ctx->run.emplace(&state_->graph(), &state_->store(), ctx->query.get(),
+                   adjacency);
+  Status init = ctx->run->Init();
+  if (!init.ok()) {
+    Respond(std::move(ctx), init, init);
+    return;
+  }
+  inflight_.push_back(std::move(ctx));
+}
+
+void QueryServer::RunGroup() {
+  const Clock::time_point now = Clock::now();
+  // Expire before grouping so a dead query never forces a scan.
+  for (auto it = inflight_.begin(); it != inflight_.end();) {
+    if (now < (*it)->deadline) {
+      ++it;
+      continue;
+    }
+    std::unique_ptr<QueryContext> ctx = std::move(*it);
+    it = inflight_.erase(it);
+    Status expired = Status::OutOfRange(
+        "deadline exceeded after " +
+        std::to_string(ctx->exec.ElapsedMillis()) + " ms (layer " +
+        std::to_string(ctx->run->NextLayerStep()) + " pending)");
+    Respond(std::move(ctx), expired, expired);
+  }
+  if (inflight_.empty()) return;
+
+  // Group by the layer each run needs next; serve the largest group
+  // (ties: lowest layer) from one shared scan.
+  std::map<int, std::vector<QueryContext*>> groups;
+  for (const auto& ctx : inflight_) {
+    groups[ctx->run->NextLayerStep()].push_back(ctx.get());
+  }
+  auto best = groups.begin();
+  for (auto it = groups.begin(); it != groups.end(); ++it) {
+    if (it->second.size() > best->second.size()) best = it;
+  }
+  const int step = best->first;
+  std::vector<QueryContext*>& group = best->second;
+
+  std::vector<int> needed;  // starts as the first member's set
+  needed = group.front()->run->needed_rels();
+  for (size_t i = 1; i < group.size(); ++i) {
+    needed = UnionNeededRels(needed, group[i]->run->needed_rels());
+  }
+
+  // One pass over (layer, relation-union); every group member rides it.
+  // The pass's page-cache activity is attributed to each subscriber.
+  storage::PageCacheStats scan_cache;
+  Result<std::shared_ptr<const LayerView>> view = [&] {
+    storage::ScopedCacheAttribution attribution(&scan_cache);
+    return executor_.Acquire(step, needed, group.size());
+  }();
+  if (!view.ok()) {
+    // The layer is unreadable (I/O error past retries): fail the whole
+    // group — no member can make progress without it.
+    for (QueryContext* member : group) {
+      auto it = std::find_if(
+          inflight_.begin(), inflight_.end(),
+          [member](const auto& c) { return c.get() == member; });
+      std::unique_ptr<QueryContext> ctx = std::move(*it);
+      inflight_.erase(it);
+      Respond(std::move(ctx), view.status(), view.status());
+    }
+    return;
+  }
+
+  // Warm the next layer(s) this group will need while it computes.
+  std::vector<int> prefetched;
+  for (QueryContext* member : group) {
+    const int after = member->run->LayerStepAfterNext();
+    if (after < 0) continue;
+    if (std::find(prefetched.begin(), prefetched.end(), after) !=
+        prefetched.end()) {
+      continue;
+    }
+    prefetched.push_back(after);
+    executor_.Prefetch(after, needed);
+  }
+
+  // Fan the shared view out: each run mutates only its own state, the
+  // view and adjacency planes are immutable — race-free by construction
+  // (serve_concurrent_test runs this under tsan).
+  const LayerView& shared = **view;
+  pool_.ParallelFor(group.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      group[i]->step_status = group[i]->run->Step(shared);
+    }
+  });
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.group_steps;
+    stats_.query_steps += group.size();
+    stats_.max_group_size =
+        std::max<uint64_t>(stats_.max_group_size, group.size());
+  }
+
+  for (QueryContext* member : group) {
+    member->cache.Merge(scan_cache);
+    const bool errored = !member->step_status.ok();
+    if (!errored && !member->run->done()) continue;
+    auto it = std::find_if(
+        inflight_.begin(), inflight_.end(),
+        [member](const auto& c) { return c.get() == member; });
+    std::unique_ptr<QueryContext> ctx = std::move(*it);
+    inflight_.erase(it);
+    if (errored) {
+      Status failed = ctx->step_status;
+      Respond(std::move(ctx), failed, failed);
+    } else {
+      Result<OfflineRun> finished =
+          ctx->run->Finish(ctx->exec.ElapsedSeconds());
+      Respond(std::move(ctx), Status::OK(), std::move(finished));
+    }
+  }
+}
+
+void QueryServer::SchedulerLoop() {
+  while (true) {
+    std::vector<Pending> admissions;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (inflight_.empty()) {
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (stop_ && queue_.empty()) break;
+      }
+      while (!queue_.empty() &&
+             inflight_.size() + admissions.size() < options_.max_inflight) {
+        admissions.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+    }
+    for (Pending& pending : admissions) Admit(std::move(pending));
+    if (!inflight_.empty()) RunGroup();
+  }
+}
+
+}  // namespace ariadne::serve

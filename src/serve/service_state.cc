@@ -1,0 +1,37 @@
+#include "serve/service_state.h"
+
+namespace ariadne::serve {
+
+ServiceState::ServiceState(const Graph* graph, const ProvenanceStore* store,
+                           ServiceStateOptions options)
+    : graph_(graph),
+      store_(store),
+      options_(options),
+      session_(graph, SessionOptions{.engine = {},
+                                     .plan_joins = options.plan_joins}),
+      send_rel_(store->RelId("send-message")),
+      receive_rel_(store->RelId("receive-message")),
+      adjacency_(std::make_unique<AdjacencyCache>(graph)) {}
+
+Result<std::unique_ptr<ServiceState>> ServiceState::Create(
+    const Graph* graph, const ProvenanceStore* store,
+    ServiceStateOptions options) {
+  if (graph == nullptr || store == nullptr) {
+    return Status::InvalidArgument("serve requires a graph and a store");
+  }
+  if (store->num_layers() == 0) {
+    return Status::InvalidArgument(
+        "provenance store has no layers to serve");
+  }
+  std::unique_ptr<ServiceState> state(
+      new ServiceState(graph, store, options));
+  if (options.precompute_adjacency) state->adjacency_->Precompute();
+  return state;
+}
+
+Result<AnalyzedQuery> ServiceState::Prepare(const std::string& text,
+                                            const QueryParams& params) const {
+  return session_.PrepareOffline(text, *store_, params);
+}
+
+}  // namespace ariadne::serve

@@ -1,0 +1,84 @@
+#ifndef ARIADNE_SERVE_SHARED_SCAN_H_
+#define ARIADNE_SERVE_SHARED_SCAN_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+#include "eval/layered_step.h"
+#include "provenance/store.h"
+
+namespace ariadne::serve {
+
+/// Counters of the shared-scan executor. `subscribers` counts query-steps
+/// served; `scans` counts actual page-read + decompress + index passes.
+/// The headline serve metric is the share of query-steps that did NOT pay
+/// a scan: with 64 concurrent queries on the same workload the hit rate
+/// approaches 63/64 per group, which is where the aggregate-QPS win over
+/// sequential one-shot evaluation comes from.
+struct SharedScanStats {
+  uint64_t scans = 0;        ///< layer views built (one store pass each)
+  uint64_t subscribers = 0;  ///< query-steps fed by any view
+  uint64_t shared_hits = 0;  ///< query-steps that reused an existing pass
+  uint64_t view_evictions = 0;
+
+  double HitRate() const {
+    return subscribers == 0
+               ? 0.0
+               : static_cast<double>(shared_hits) /
+                     static_cast<double>(subscribers);
+  }
+};
+
+/// The shared-scan half of superstep-sharing: performs one page-read +
+/// decompress + index pass per (layer, relation-set) and fans the
+/// resulting immutable LayerView out to every query subscribed to that
+/// layer. A small LRU of recent views bridges consecutive scheduler
+/// groups (e.g. forward and backward queries crossing the same layer from
+/// opposite ends, or stragglers admitted one group late).
+///
+/// Thread-safe; in the server only the scheduler thread calls Acquire,
+/// but tests drive it concurrently.
+class SharedScanExecutor {
+ public:
+  /// `store` must outlive the executor. `send_rel`/`receive_rel` are the
+  /// store's message-edge relations (LayerView routing). `capacity` is
+  /// the number of views retained (>= 1).
+  SharedScanExecutor(const ProvenanceStore* store, int send_rel,
+                     int receive_rel, size_t capacity = 4);
+
+  /// A view of layer `step` covering the relations in `needed` (sorted;
+  /// empty = all), built by one store pass or reused from a previous one.
+  /// `subscribers` is the number of queries this view is about to feed
+  /// (stats only). When a retained view for `step` does not cover
+  /// `needed`, the replacement is built over the union of both relation
+  /// sets, so alternating relation subsets converge instead of thrashing.
+  Result<std::shared_ptr<const LayerView>> Acquire(
+      int step, const std::vector<int>& needed, size_t subscribers);
+
+  /// Best-effort page-cache warmup for an upcoming Acquire.
+  void Prefetch(int step, const std::vector<int>& needed) const;
+
+  SharedScanStats stats() const;
+
+ private:
+  const ProvenanceStore* store_;
+  const int send_rel_;
+  const int receive_rel_;
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  /// Front = most recently used.
+  std::list<std::shared_ptr<const LayerView>> views_;
+  SharedScanStats stats_;
+};
+
+/// Union of two sorted needed-relation sets, where empty means "all".
+std::vector<int> UnionNeededRels(const std::vector<int>& a,
+                                 const std::vector<int>& b);
+
+}  // namespace ariadne::serve
+
+#endif  // ARIADNE_SERVE_SHARED_SCAN_H_

@@ -227,7 +227,7 @@ size_t LayerStore::DecodedBudget() const {
   return options_.mem_budget_bytes - options_.mem_budget_bytes / 4;
 }
 
-void LayerStore::EvictResidentsLocked() {
+void LayerStore::EvictResidentsLocked() const {
   const size_t target = DecodedBudget();
   size_t decoded = 0;
   for (const auto& entry : entries_) {
@@ -254,17 +254,17 @@ int LayerStore::num_layers() const {
   return static_cast<int>(entries_.size());
 }
 
-Result<std::shared_ptr<const Layer>> LayerStore::Read(int step) {
+Result<std::shared_ptr<const Layer>> LayerStore::Read(int step) const {
   return ReadImpl(step, {});
 }
 
 Result<std::shared_ptr<const Layer>> LayerStore::ReadRelations(
-    int step, const std::vector<int>& rels) {
+    int step, const std::vector<int>& rels) const {
   return ReadImpl(step, rels);
 }
 
-Result<std::shared_ptr<const Page>> LayerStore::FetchPage(const Entry& entry,
-                                                          uint32_t index) {
+Result<std::shared_ptr<const Page>> LayerStore::FetchPage(
+    const Entry& entry, uint32_t index) const {
   const PageKey key{static_cast<int32_t>(entry.step), index};
   if (cache_) {
     if (auto page = cache_->Lookup(key)) return page;
@@ -306,7 +306,7 @@ Result<std::shared_ptr<const Page>> LayerStore::FetchPage(const Entry& entry,
 }
 
 Result<std::shared_ptr<const Layer>> LayerStore::ReadImpl(
-    int step, const std::vector<int>& rels) {
+    int step, const std::vector<int>& rels) const {
   std::unique_lock<std::mutex> lock(mu_);
   if (step < 0 || step >= static_cast<int>(entries_.size())) {
     return Status::OutOfRange("layer " + std::to_string(step) +
@@ -373,7 +373,7 @@ Result<std::shared_ptr<const Layer>> LayerStore::ReadImpl(
   return std::static_pointer_cast<const Layer>(layer);
 }
 
-void LayerStore::Prefetch(int step, const std::vector<int>& rels) {
+void LayerStore::Prefetch(int step, const std::vector<int>& rels) const {
   std::unique_lock<std::mutex> lock(mu_);
   if (!configured_ || step < 0 ||
       step >= static_cast<int>(entries_.size())) {

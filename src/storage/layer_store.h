@@ -77,6 +77,29 @@ struct StorageStats {
                : static_cast<double>(compressed_bytes) /
                      static_cast<double>(raw_serialized_bytes);
   }
+  /// Counter movement since `before` (an earlier stats() snapshot);
+  /// current-value fields (`cache_bytes`, `degraded`) carry the current
+  /// value. Both snapshots are internally consistent (taken under the
+  /// store/cache locks), so deltas never race the background flusher.
+  StorageStats Delta(const StorageStats& before) const {
+    StorageStats d = *this;
+    d.layers_flushed -= before.layers_flushed;
+    d.pages_written -= before.pages_written;
+    d.compressed_bytes -= before.compressed_bytes;
+    d.raw_serialized_bytes -= before.raw_serialized_bytes;
+    d.pages_read -= before.pages_read;
+    d.prefetch_requests -= before.prefetch_requests;
+    d.prefetch_pages -= before.prefetch_pages;
+    d.flush_seconds -= before.flush_seconds;
+    d.flush_retries -= before.flush_retries;
+    d.read_retries -= before.read_retries;
+    d.layers_quarantined -= before.layers_quarantined;
+    d.cache_hits -= before.cache_hits;
+    d.cache_misses -= before.cache_misses;
+    d.cache_evictions -= before.cache_evictions;
+    return d;
+  }
+
   double CacheHitRate() const {
     const uint64_t total = cache_hits + cache_misses;
     return total == 0 ? 0.0
@@ -122,18 +145,25 @@ class LayerStore {
 
   /// The full layer for superstep `step`: the decoded resident copy when
   /// there is one, otherwise decoded from (cached or on-disk) pages.
-  Result<std::shared_ptr<const Layer>> Read(int step);
+  ///
+  /// The whole read path (Read/ReadRelations/Prefetch) is logically
+  /// const and thread-safe: any number of concurrent readers may call it
+  /// on one store (the serve scheduler and its worker threads do), all
+  /// internal mutation (LRU ticks, stats, cache admission, resident
+  /// re-admission) happens under `mu_` or inside the internally-locked
+  /// PageCache.
+  Result<std::shared_ptr<const Layer>> Read(int step) const;
 
   /// Like Read, but materializes only the slices of the relations in
   /// `rels` (empty = all). Only matching pages are touched/decoded.
   Result<std::shared_ptr<const Layer>> ReadRelations(
-      int step, const std::vector<int>& rels);
+      int step, const std::vector<int>& rels) const;
 
   /// Asynchronous hint: load the pages of `step` restricted to `rels`
   /// into the page cache. Layered evaluation issues these
   /// direction-aware (step+1 ascending, step-1 descending). Best-effort;
   /// errors surface on the subsequent Read.
-  void Prefetch(int step, const std::vector<int>& rels);
+  void Prefetch(int step, const std::vector<int>& rels) const;
 
   /// Waits for all background writes, enforces the budget, and returns
   /// the first flush error (sticky). The spill files are durable (each
@@ -183,12 +213,12 @@ class LayerStore {
 
   void SubmitFlushLocked(Entry* entry);
   void FlushEntry(Entry* entry);
-  void EvictResidentsLocked();
+  void EvictResidentsLocked() const;
   size_t DecodedBudget() const;
   Result<std::shared_ptr<const Page>> FetchPage(const Entry& entry,
-                                                uint32_t index);
-  Result<std::shared_ptr<const Layer>> ReadImpl(int step,
-                                                const std::vector<int>& rels);
+                                                uint32_t index) const;
+  Result<std::shared_ptr<const Layer>> ReadImpl(
+      int step, const std::vector<int>& rels) const;
 
   mutable std::mutex mu_;
   std::condition_variable backpressure_cv_;
@@ -197,9 +227,12 @@ class LayerStore {
   bool configured_ = false;
   bool degraded_ = false;
   size_t unflushed_bytes_ = 0;
-  uint64_t use_tick_ = 0;
+  /// Sticky first exhausted-flush error (see flush_error()).
   Status first_flush_error_;
-  StorageStats stats_;  ///< cache_* fields filled from cache_ on read
+  /// LRU clock and counters are advanced by the (const) read path under
+  /// mu_ — bookkeeping, not logical state, hence mutable.
+  mutable uint64_t use_tick_ = 0;
+  mutable StorageStats stats_;  ///< cache_* fields filled from cache_ on read
   std::unique_ptr<PageCache> cache_;
   std::unique_ptr<BackgroundFlusher> flusher_;
 };

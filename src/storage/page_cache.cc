@@ -4,6 +4,26 @@
 
 namespace ariadne::storage {
 
+namespace {
+/// Per-thread attribution sink (see ScopedCacheAttribution). A plain
+/// thread_local pointer: attributed counters are single-writer by
+/// construction (only this thread bumps its own sink).
+thread_local PageCacheStats* t_attribution_sink = nullptr;
+}  // namespace
+
+ScopedCacheAttribution::ScopedCacheAttribution(PageCacheStats* sink)
+    : previous_(t_attribution_sink) {
+  t_attribution_sink = sink;
+}
+
+ScopedCacheAttribution::~ScopedCacheAttribution() {
+  t_attribution_sink = previous_;
+}
+
+PageCacheStats* ScopedCacheAttribution::Current() {
+  return t_attribution_sink;
+}
+
 std::shared_ptr<const Page> PageCache::Lookup(const PageKey& key) {
   // Fault point "cache-drop": the fired lookup behaves as if the entry
   // was just evicted — it is removed (unless pinned) and reported as a
@@ -19,15 +39,18 @@ std::shared_ptr<const Page> PageCache::Lookup(const PageKey& key) {
       map_.erase(it);
     }
     ++stats_.misses;
+    if (t_attribution_sink != nullptr) ++t_attribution_sink->misses;
     return nullptr;
   }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find(key);
   if (it == map_.end()) {
     ++stats_.misses;
+    if (t_attribution_sink != nullptr) ++t_attribution_sink->misses;
     return nullptr;
   }
   ++stats_.hits;
+  if (t_attribution_sink != nullptr) ++t_attribution_sink->hits;
   lru_.splice(lru_.begin(), lru_, it->second);
   return it->second->page;
 }
@@ -55,6 +78,7 @@ void PageCache::Insert(const PageKey& key, std::shared_ptr<const Page> page) {
     entry.page = std::move(page);
     stats_.bytes_cached += entry.bytes;
     ++stats_.insertions;
+    if (t_attribution_sink != nullptr) ++t_attribution_sink->insertions;
     lru_.push_front(std::move(entry));
     map_[key] = lru_.begin();
   }
@@ -81,6 +105,9 @@ void PageCache::EvictLocked() {
     if (it->pin_count == 0) {
       stats_.bytes_cached -= it->bytes;
       ++stats_.evictions;
+      // Evictions are attributed to the inserting thread: its insert is
+      // what pushed the cache over budget.
+      if (t_attribution_sink != nullptr) ++t_attribution_sink->evictions;
       map_.erase(it->key);
       lru_.erase(it);
     }

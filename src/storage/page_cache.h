@@ -34,6 +34,52 @@ struct PageCacheStats {
   uint64_t evictions = 0;
   uint64_t insertions = 0;
   uint64_t bytes_cached = 0;  ///< current payload bytes resident
+
+  /// Counter movement since `before` (a Snapshot taken earlier);
+  /// `bytes_cached` carries the current value, not a difference. The
+  /// snapshot/delta pair is how `bench_serve_micro` and the serve stats
+  /// attribute cache activity to one phase without racing concurrent
+  /// readers or the background flusher: both ends are internally
+  /// consistent copies taken under the cache lock.
+  PageCacheStats Delta(const PageCacheStats& before) const {
+    PageCacheStats d;
+    d.hits = hits - before.hits;
+    d.misses = misses - before.misses;
+    d.evictions = evictions - before.evictions;
+    d.insertions = insertions - before.insertions;
+    d.bytes_cached = bytes_cached;
+    return d;
+  }
+
+  void Merge(const PageCacheStats& o) {
+    hits += o.hits;
+    misses += o.misses;
+    evictions += o.evictions;
+    insertions += o.insertions;
+    bytes_cached = o.bytes_cached;
+  }
+};
+
+/// Attributes page-cache activity on the *current thread* to `sink` for
+/// the scope's lifetime: every hit/miss/eviction/insertion the thread
+/// causes is added to the sink as well as to the cache's global stats.
+/// The serve shared-scan executor wraps each store read in one of these,
+/// so per-query cache attribution costs nothing on unattributed paths
+/// (background flush/prefetch threads never set a sink). Scopes nest;
+/// the previous sink is restored on destruction.
+class ScopedCacheAttribution {
+ public:
+  explicit ScopedCacheAttribution(PageCacheStats* sink);
+  ~ScopedCacheAttribution();
+
+  ScopedCacheAttribution(const ScopedCacheAttribution&) = delete;
+  ScopedCacheAttribution& operator=(const ScopedCacheAttribution&) = delete;
+
+  /// The current thread's sink, or nullptr (internal, used by PageCache).
+  static PageCacheStats* Current();
+
+ private:
+  PageCacheStats* previous_;
 };
 
 /// Thread-safe LRU cache of encoded (compressed) pages under a byte
@@ -68,6 +114,10 @@ class PageCache {
   void Unpin(const PageKey& key);
 
   PageCacheStats stats() const;
+  /// Internally-consistent copy of the counters (taken under the cache
+  /// lock — safe against concurrent readers and the flusher). Pair two
+  /// snapshots with PageCacheStats::Delta for phase attribution.
+  PageCacheStats Snapshot() const { return stats(); }
   size_t budget() const { return budget_; }
 
  private:

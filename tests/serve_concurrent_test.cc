@@ -1,0 +1,241 @@
+// Concurrency correctness of the serve subsystem (DESIGN.md §2.6): many
+// layered evaluations over ONE shared store — raw concurrent RunOffline
+// calls and batched QueryServer runs alike — must produce results (and
+// evaluation statistics) identical to sequential one-shot evaluation.
+// This test runs under tsan in CI: the shared read path (LayerStore,
+// PageCache, shared LayerViews, precomputed adjacency) must be race-free.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "common/serialize.h"
+#include "core/ariadne.h"
+#include "serve/server.h"
+
+namespace ariadne {
+namespace {
+
+std::vector<std::string> TableStrings(const QueryResult& result,
+                                      const std::string& name) {
+  const Relation* rel = result.Table(name);
+  if (rel == nullptr) return {};
+  return rel->ToSortedStrings();
+}
+
+uint64_t TotalDerived(const OfflineEvalStats& stats) {
+  return stats.eval.Total().derived;
+}
+
+/// Grid SSSP capture with a tight spill budget, so concurrent readers
+/// really hit the page cache and decode path, not just resident layers.
+class ServeConcurrentTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = GenerateGrid(8, 8);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    std::error_code ec;
+    std::filesystem::create_directories(SpillDir(), ec);
+    ASSERT_FALSE(ec) << ec.message();
+
+    Session session(&graph_);
+    auto capture = session.PrepareOnline(queries::CaptureFull());
+    ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+    storage::LayerStoreOptions storage_options;
+    storage_options.dir = SpillDir();
+    storage_options.mem_budget_bytes = 16 << 10;  // force spill + decode
+    storage_options.flush_threads = 1;
+    ASSERT_TRUE(store_.ConfigureStorage(std::move(storage_options)).ok());
+    SsspProgram sssp(0);
+    auto stats = session.Capture(sssp, *capture, &store_);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    ASSERT_GT(store_.SpilledLayerCount(), 0);
+  }
+
+  static std::string SpillDir() {
+    return testing::TempDir() + "/serve_concurrent_spill";
+  }
+
+  /// The mixed workload: backward lineage (several roots), apt, forward
+  /// lineage — the serve bench's query classes.
+  struct Workload {
+    std::string text;
+    QueryParams params;
+  };
+
+  std::vector<Workload> MixedWorkload() const {
+    std::string forward = *ReadFile(std::string(ARIADNE_SOURCE_DIR) +
+                                    "/examples/pql/forward_lineage.pql");
+    std::vector<Workload> workload;
+    for (int64_t alpha : {9, 18, 27, 36}) {
+      workload.push_back({queries::BackwardLineageFull(),
+                          {{"alpha", Value(alpha)}, {"sigma", Value(int64_t{5})}}});
+    }
+    workload.push_back({queries::Apt(), {{"eps", Value(0.1)}}});
+    workload.push_back({queries::Apt(), {{"eps", Value(0.5)}}});
+    workload.push_back({forward, {{"alpha", Value(int64_t{0})}}});
+    workload.push_back({forward, {{"alpha", Value(int64_t{9})}}});
+    return workload;
+  }
+
+  Graph graph_;
+  ProvenanceStore store_;
+};
+
+/// >= 8 raw concurrent layered evaluations over the shared store match
+/// the sequential one-shot runs table-for-table and counter-for-counter.
+TEST_F(ServeConcurrentTest, ConcurrentRunOfflineMatchesSequential) {
+  Session session(&graph_);
+  const std::vector<Workload> workload = MixedWorkload();
+  ASSERT_GE(workload.size(), 8u);
+
+  std::vector<Result<AnalyzedQuery>> queries;
+  for (const Workload& w : workload) {
+    queries.push_back(session.PrepareOffline(w.text, store_, w.params));
+    ASSERT_TRUE(queries.back().ok()) << queries.back().status().ToString();
+  }
+
+  // Sequential reference, one-shot per query.
+  std::vector<Result<OfflineRun>> reference;
+  for (const auto& q : queries) {
+    reference.push_back(session.RunOffline(&store_, *q, EvalMode::kLayered));
+    ASSERT_TRUE(reference.back().ok())
+        << reference.back().status().ToString();
+  }
+
+  // The same queries, all at once, one thread each.
+  std::vector<Result<OfflineRun>> concurrent;
+  concurrent.reserve(workload.size());
+  for (size_t i = 0; i < workload.size(); ++i) {
+    concurrent.emplace_back(Status::Internal("unset"));
+  }
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(workload.size());
+    for (size_t i = 0; i < workload.size(); ++i) {
+      threads.emplace_back([&, i] {
+        concurrent[i] =
+            session.RunOffline(&store_, *queries[i], EvalMode::kLayered);
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    ASSERT_TRUE(concurrent[i].ok()) << concurrent[i].status().ToString();
+    EXPECT_EQ(concurrent[i]->stats.result_tuples,
+              reference[i]->stats.result_tuples);
+    EXPECT_EQ(TotalDerived(concurrent[i]->stats),
+              TotalDerived(reference[i]->stats));
+    EXPECT_EQ(concurrent[i]->stats.eval.Total().evaluations,
+              reference[i]->stats.eval.Total().evaluations);
+    for (const std::string& table : reference[i]->result.TableNames()) {
+      EXPECT_EQ(TableStrings(concurrent[i]->result, table),
+                TableStrings(reference[i]->result, table))
+          << "query " << i << " table " << table;
+    }
+  }
+}
+
+/// The batched server (shared scans, shared adjacency, parallel group
+/// stepping) returns exactly the one-shot results for every query.
+TEST_F(ServeConcurrentTest, ServerBatchMatchesOneShot) {
+  Session session(&graph_);
+  const std::vector<Workload> workload = MixedWorkload();
+
+  std::vector<Result<OfflineRun>> reference;
+  for (const Workload& w : workload) {
+    auto q = session.PrepareOffline(w.text, store_, w.params);
+    ASSERT_TRUE(q.ok()) << q.status().ToString();
+    reference.push_back(session.RunOffline(&store_, *q, EvalMode::kLayered));
+    ASSERT_TRUE(reference.back().ok())
+        << reference.back().status().ToString();
+  }
+
+  auto state = serve::ServiceState::Create(&graph_, &store_);
+  ASSERT_TRUE(state.ok()) << state.status().ToString();
+  serve::ServerOptions options;
+  options.max_inflight = workload.size();
+  options.step_threads = 4;
+  serve::QueryServer server(state->get(), options);
+
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    serve::ServeRequest request;
+    request.name = "q" + std::to_string(i);
+    request.text = workload[i].text;
+    request.params = workload[i].params;
+    futures.push_back(server.Submit(std::move(request)));
+  }
+
+  for (size_t i = 0; i < workload.size(); ++i) {
+    serve::ServeResponse response = futures[i].get();
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    EXPECT_EQ(response.stats.result_tuples,
+              reference[i]->stats.result_tuples);
+    EXPECT_EQ(response.stats.supersteps, reference[i]->stats.supersteps);
+    EXPECT_EQ(TotalDerived(response.stats), TotalDerived(reference[i]->stats));
+    EXPECT_EQ(response.stats.eval.Total().evaluations,
+              reference[i]->stats.eval.Total().evaluations);
+    for (const std::string& table : reference[i]->result.TableNames()) {
+      EXPECT_EQ(TableStrings(response.result, table),
+                TableStrings(reference[i]->result, table))
+          << "query " << i << " table " << table;
+    }
+  }
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, workload.size());
+  EXPECT_EQ(stats.failed, 0u);
+  // Sharing must actually have happened: fewer scans than query-steps.
+  EXPECT_GT(stats.query_steps, 0u);
+  EXPECT_LT(stats.scan.scans, stats.query_steps);
+  EXPECT_GT(stats.scan.shared_hits, 0u);
+}
+
+/// Repeated server batches (warm shared caches) stay correct — the
+/// LayerView LRU and page cache serve later rounds.
+TEST_F(ServeConcurrentTest, RepeatedBatchesStayCorrect) {
+  Session session(&graph_);
+  QueryParams params{{"alpha", Value(int64_t{18})},
+                     {"sigma", Value(int64_t{5})}};
+  auto q = session.PrepareOffline(queries::BackwardLineageFull(), store_,
+                                  params);
+  ASSERT_TRUE(q.ok());
+  auto reference = session.RunOffline(&store_, *q, EvalMode::kLayered);
+  ASSERT_TRUE(reference.ok());
+
+  auto state = serve::ServiceState::Create(&graph_, &store_);
+  ASSERT_TRUE(state.ok());
+  serve::ServerOptions options;
+  options.max_inflight = 4;
+  options.step_threads = 2;
+  serve::QueryServer server(state->get(), options);
+
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::future<serve::ServeResponse>> futures;
+    for (int i = 0; i < 6; ++i) {
+      serve::ServeRequest request;
+      request.name = "r" + std::to_string(round) + "q" + std::to_string(i);
+      request.text = queries::BackwardLineageFull();
+      request.params = params;
+      futures.push_back(server.Submit(std::move(request)));
+    }
+    for (auto& future : futures) {
+      serve::ServeResponse response = future.get();
+      ASSERT_TRUE(response.ok()) << response.status.ToString();
+      EXPECT_EQ(TableStrings(response.result, "back-trace"),
+                TableStrings(reference->result, "back-trace"));
+      EXPECT_EQ(TableStrings(response.result, "back-lineage"),
+                TableStrings(reference->result, "back-lineage"));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ariadne

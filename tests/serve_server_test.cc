@@ -1,0 +1,180 @@
+// Behavioural tests of the QueryServer admission layer and scheduler:
+// bounded-queue rejection, per-query deadlines, error accounting,
+// shutdown semantics and stats coherence (DESIGN.md §2.6).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/ariadne.h"
+#include "serve/server.h"
+#include "serve/shared_scan.h"
+
+namespace ariadne {
+namespace {
+
+/// In-memory chain SSSP capture — small enough that a query completes in
+/// a handful of layer steps, which is all these tests need.
+class ServeServerTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    auto g = GenerateChain(6);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    Session session(&graph_);
+    auto capture = session.PrepareOnline(queries::CaptureFull());
+    ASSERT_TRUE(capture.ok()) << capture.status().ToString();
+    SsspProgram sssp(0);
+    auto stats = session.Capture(sssp, *capture, &store_);
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+
+    auto state = serve::ServiceState::Create(&graph_, &store_);
+    ASSERT_TRUE(state.ok()) << state.status().ToString();
+    state_ = state.MoveValue();
+  }
+
+  serve::ServeRequest BackwardRequest(const std::string& name) const {
+    serve::ServeRequest request;
+    request.name = name;
+    request.text = queries::BackwardLineageFull();
+    request.params = {{"alpha", Value(int64_t{5})},
+                      {"sigma", Value(int64_t{5})}};
+    return request;
+  }
+
+  Graph graph_;
+  ProvenanceStore store_;
+  std::unique_ptr<serve::ServiceState> state_;
+};
+
+TEST_F(ServeServerTest, CompletesSimpleQuery) {
+  serve::QueryServer server(state_.get());
+  serve::ServeResponse response = server.SubmitAndWait(BackwardRequest("q"));
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  EXPECT_EQ(response.name, "q");
+  EXPECT_GT(response.stats.result_tuples, 0);
+  EXPECT_EQ(response.stats.supersteps, store_.num_layers());
+  EXPECT_GE(response.exec_seconds, 0.0);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.admitted, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(ServeServerTest, FullQueueRejectsWithOutOfRange) {
+  serve::ServerOptions options;
+  options.queue_capacity = 0;  // every submit bounces at admission
+  serve::QueryServer server(state_.get(), options);
+  serve::ServeResponse response = server.SubmitAndWait(BackwardRequest("q"));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kOutOfRange);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 1u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.admitted, 0u);
+}
+
+TEST_F(ServeServerTest, DeadlineExpiryIsCountedSeparately) {
+  serve::QueryServer server(state_.get());
+  serve::ServeRequest request = BackwardRequest("late");
+  // Already past its budget when the scheduler first looks at it.
+  request.deadline_ms = 1e-6;
+  serve::ServeResponse response = server.SubmitAndWait(std::move(request));
+  EXPECT_FALSE(response.ok());
+  EXPECT_EQ(response.status.code(), StatusCode::kOutOfRange);
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.expired, 1u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.completed, 0u);
+}
+
+TEST_F(ServeServerTest, ParseErrorCountsAsFailed) {
+  serve::QueryServer server(state_.get());
+  serve::ServeRequest request;
+  request.name = "bad";
+  request.text = "this is not pql (";
+  serve::ServeResponse response = server.SubmitAndWait(std::move(request));
+  EXPECT_FALSE(response.ok());
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.failed, 1u);
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.expired, 0u);
+}
+
+TEST_F(ServeServerTest, ShutdownDrainsThenRejectsNewSubmits) {
+  serve::QueryServer server(state_.get());
+  auto inflight = server.Submit(BackwardRequest("before"));
+  server.Shutdown();
+  // The pre-shutdown query was drained, not dropped.
+  serve::ServeResponse drained = inflight.get();
+  EXPECT_TRUE(drained.ok()) << drained.status.ToString();
+  serve::ServeResponse after = server.SubmitAndWait(BackwardRequest("after"));
+  EXPECT_FALSE(after.ok());
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(ServeServerTest, StatsStayCoherentOverMixedOutcomes) {
+  serve::QueryServer server(state_.get());
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < 4; ++i) {
+    futures.push_back(server.Submit(BackwardRequest("ok" + std::to_string(i))));
+  }
+  serve::ServeRequest bad;
+  bad.name = "bad";
+  bad.text = "nonsense(";
+  futures.push_back(server.Submit(std::move(bad)));
+  for (auto& future : futures) future.get();
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.admitted + stats.coalesced, 5u);
+  EXPECT_EQ(stats.completed + stats.failed + stats.expired, 5u);
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.failed, 1u);
+  // Each evaluated (non-coalesced) query stepped every layer once.
+  EXPECT_EQ(stats.query_steps,
+            (4u - stats.coalesced) * static_cast<uint64_t>(store_.num_layers()));
+  EXPECT_GE(stats.group_steps, static_cast<uint64_t>(store_.num_layers()));
+  EXPECT_LE(stats.group_steps, stats.query_steps);
+}
+
+/// Identical concurrent requests coalesce onto one evaluation, and every
+/// coalesced response carries the full (identical) result.
+TEST_F(ServeServerTest, IdenticalInFlightQueriesCoalesce) {
+  serve::QueryServer server(state_.get());
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(BackwardRequest("c" + std::to_string(i))));
+  }
+  std::vector<std::vector<std::string>> traces;
+  for (auto& future : futures) {
+    serve::ServeResponse response = future.get();
+    ASSERT_TRUE(response.ok()) << response.status.ToString();
+    traces.push_back(response.result.Table("back-trace")->ToSortedStrings());
+    EXPECT_GT(response.stats.result_tuples, 0u);
+  }
+  for (size_t i = 1; i < traces.size(); ++i) EXPECT_EQ(traces[i], traces[0]);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 8u);
+  // All 8 were submitted back-to-back while the first was still layers
+  // away from finishing, so at least some must have ridden it.
+  EXPECT_GE(stats.coalesced, 1u);
+  EXPECT_EQ(stats.admitted + stats.coalesced, 8u);
+  EXPECT_EQ(stats.query_steps,
+            stats.admitted * static_cast<uint64_t>(store_.num_layers()));
+}
+
+TEST(UnionNeededRelsTest, EmptyMeansAllRelations) {
+  EXPECT_TRUE(serve::UnionNeededRels({}, {1, 2}).empty());
+  EXPECT_TRUE(serve::UnionNeededRels({1, 2}, {}).empty());
+  EXPECT_EQ(serve::UnionNeededRels({1, 3}, {2, 3}),
+            (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ariadne

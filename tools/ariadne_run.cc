@@ -22,6 +22,7 @@
 #include <string>
 
 #include "analytics/bfs.h"
+#include "common/json.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "core/ariadne.h"
@@ -57,6 +58,7 @@ struct Args {
   uint64_t inject_seed = 1;   ///< reserved for randomized scenarios
   std::string degrade = "fail";
   std::string values_out;     ///< binary dump of final vertex values
+  std::string stats_json;     ///< machine-readable run report (--stats-json)
 };
 
 int Usage() {
@@ -74,7 +76,7 @@ int Usage() {
                "  [--inject point:N[+][:error|throw|crash],...] "
                "[--inject-seed S]\n"
                "  [--degrade-policy fail|capture-off|forward-lineage]\n"
-               "  [--values-out <file>]\n");
+               "  [--values-out <file>] [--stats-json <file>]\n");
   return 2;
 }
 
@@ -142,6 +144,100 @@ void PrintRecoveryStats(const RunStats& stats) {
     std::printf("recovery: CAPTURE DEGRADED at superstep %d\n",
                 stats.capture_degraded_at);
   }
+}
+
+// ---- --stats-json emission (machine-readable run report) ----
+
+std::string EngineStatsJson(const RunStats& s) {
+  json::JsonObject o;
+  o.Set("supersteps", static_cast<int64_t>(s.supersteps))
+      .Set("total_messages", s.total_messages)
+      .Set("total_active", s.total_active)
+      .Set("seconds", s.seconds)
+      .Set("halted_by_cap", s.halted_by_cap)
+      .Set("dropped_messages", s.dropped_messages)
+      .Set("combine_hits", s.combine_hits)
+      .Set("rebuild_seconds", s.rebuild_seconds)
+      .Set("compute_seconds", s.compute_seconds)
+      .Set("merge_seconds", s.merge_seconds)
+      .Set("checkpoints_written", s.checkpoints_written)
+      .Set("checkpoint_seconds", s.checkpoint_seconds)
+      .Set("checkpoint_failures", s.checkpoint_failures)
+      .Set("resumed_from_step", static_cast<int64_t>(s.resumed_from_step))
+      .Set("injected_faults", s.injected_faults)
+      .Set("capture_degraded", s.capture_degraded)
+      .Set("capture_degraded_at",
+           static_cast<int64_t>(s.capture_degraded_at));
+  return o.Dump();
+}
+
+std::string RuleStatsJson(const RuleEvalStats& r) {
+  json::JsonObject o;
+  o.Set("evaluations", r.evaluations)
+      .Set("rows_scanned", r.rows_scanned)
+      .Set("index_probes", r.index_probes)
+      .Set("probe_rows", r.probe_rows)
+      .Set("index_builds", r.index_builds)
+      .Set("delta_rescans", r.delta_rescans)
+      .Set("derived", r.derived)
+      .Set("seconds", r.seconds);
+  return o.Dump();
+}
+
+std::string EvalStatsJson(const EvalStats& e) {
+  std::vector<std::string> rules;
+  rules.reserve(e.rules.size());
+  for (const RuleEvalStats& r : e.rules) rules.push_back(RuleStatsJson(r));
+  json::JsonObject o;
+  o.SetRaw("total", RuleStatsJson(e.Total()))
+      .SetRaw("rules", json::JsonArray(rules));
+  return o.Dump();
+}
+
+std::string StorageStatsJson(const storage::StorageStats& st) {
+  json::JsonObject o;
+  o.Set("layers_flushed", st.layers_flushed)
+      .Set("pages_written", st.pages_written)
+      .Set("compressed_bytes", st.compressed_bytes)
+      .Set("raw_serialized_bytes", st.raw_serialized_bytes)
+      .Set("compression_ratio", st.CompressionRatio())
+      .Set("pages_read", st.pages_read)
+      .Set("prefetch_requests", st.prefetch_requests)
+      .Set("prefetch_pages", st.prefetch_pages)
+      .Set("flush_seconds", st.flush_seconds)
+      .Set("flush_retries", st.flush_retries)
+      .Set("read_retries", st.read_retries)
+      .Set("layers_quarantined", st.layers_quarantined)
+      .Set("degraded", st.degraded)
+      .Set("cache_hits", st.cache_hits)
+      .Set("cache_misses", st.cache_misses)
+      .Set("cache_hit_rate", st.CacheHitRate())
+      .Set("cache_evictions", st.cache_evictions)
+      .Set("cache_bytes", st.cache_bytes);
+  return o.Dump();
+}
+
+json::JsonObject StatsJsonHeader(const Args& args, const Graph& graph) {
+  json::JsonObject root;
+  root.Set("tool", "ariadne_run")
+      .Set("analytic", args.analytic)
+      .Set("query", args.query)
+      .Set("mode", args.mode);
+  json::JsonObject g;
+  g.Set("vertices", static_cast<int64_t>(graph.num_vertices()))
+      .Set("edges", static_cast<int64_t>(graph.num_edges()));
+  root.SetRaw("graph", g.Dump());
+  return root;
+}
+
+int WriteStatsJson(const std::string& path, const json::JsonObject& root) {
+  Status written = WriteFile(path, root.Dump() + "\n");
+  if (!written.ok()) {
+    std::fprintf(stderr, "stats-json: %s\n", written.ToString().c_str());
+    return 1;
+  }
+  std::printf("stats written to %s\n", path.c_str());
+  return 0;
 }
 
 template <typename P>
@@ -236,6 +332,18 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
             st.degraded ? ", DEGRADED" : "");
       }
     }
+    if (!args.stats_json.empty()) {
+      json::JsonObject root = StatsJsonHeader(args, graph);
+      root.SetRaw("engine", EngineStatsJson(*stats));
+      json::JsonObject store_json;
+      store_json.Set("layers", store.num_layers())
+          .Set("bytes", static_cast<uint64_t>(store.TotalBytes()))
+          .Set("tuples", store.TotalTuples())
+          .Set("spilled_layers", store.SpilledLayerCount());
+      root.SetRaw("store", store_json.Dump());
+      root.SetRaw("storage", StorageStatsJson(store.storage_stats()));
+      if (int rc = WriteStatsJson(args.stats_json, root)) return rc;
+    }
     if (!args.values_out.empty()) {
       Status dumped = DumpValues(args.values_out, final_values);
       if (!dumped.ok()) {
@@ -281,6 +389,22 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
   if (!profile.empty()) {
     std::printf("rule profile (%s):\n%s",
                 args.plan_joins ? "planned" : "no-plan", profile.c_str());
+  }
+  if (!args.stats_json.empty()) {
+    json::JsonObject root = StatsJsonHeader(args, graph);
+    root.SetRaw("engine", EngineStatsJson(run->engine_stats));
+    root.SetRaw("eval", EvalStatsJson(run->eval_stats));
+    root.Set("transient_bytes", static_cast<uint64_t>(run->transient_bytes));
+    std::vector<std::string> tables;
+    for (const std::string& name : run->query_result.TableNames()) {
+      json::JsonObject t;
+      t.Set("name", name)
+          .Set("tuples",
+               static_cast<uint64_t>(run->query_result.TupleCount(name)));
+      tables.push_back(t.Dump());
+    }
+    root.SetRaw("tables", json::JsonArray(tables));
+    if (int rc = WriteStatsJson(args.stats_json, root)) return rc;
   }
   if (!args.dump_table.empty()) {
     const Relation* rel = run->query_result.Table(args.dump_table);
@@ -357,6 +481,8 @@ int main(int argc, char** argv) {
       args.degrade = v;
     } else if (flag == "--values-out" && (v = next())) {
       args.values_out = v;
+    } else if (flag == "--stats-json" && (v = next())) {
+      args.stats_json = v;
     } else {
       return Usage();
     }
