@@ -1,0 +1,44 @@
+#include "common/mem.h"
+
+#include <sys/resource.h>
+
+#include <cstdio>
+#include <cstring>
+
+namespace ariadne {
+
+namespace {
+
+/// Reads a "<key>:   <n> kB" line from /proc/self/status; 0 if absent.
+uint64_t ProcStatusKb(const char* key) {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  uint64_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0 && line[key_len] == ':') {
+      std::sscanf(line + key_len + 1, "%lu", &kb);
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb;
+}
+
+}  // namespace
+
+uint64_t PeakRssBytes() {
+  const uint64_t kb = ProcStatusKb("VmHWM");
+  if (kb > 0) return kb * 1024;
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) == 0 && ru.ru_maxrss > 0) {
+    // ru_maxrss is KiB on Linux.
+    return static_cast<uint64_t>(ru.ru_maxrss) * 1024;
+  }
+  return 0;
+}
+
+uint64_t CurrentRssBytes() { return ProcStatusKb("VmRSS") * 1024; }
+
+}  // namespace ariadne

@@ -1,0 +1,19 @@
+#ifndef ARIADNE_COMMON_MEM_H_
+#define ARIADNE_COMMON_MEM_H_
+
+#include <cstdint>
+
+namespace ariadne {
+
+/// Peak resident set size of this process in bytes (Linux VmHWM, with a
+/// getrusage fallback), or 0 when the platform offers no reading. The
+/// out-of-core experiments report this next to the cache budgets
+/// (RunStats::peak_rss_bytes, DESIGN.md §2.7).
+uint64_t PeakRssBytes();
+
+/// Current resident set size in bytes (Linux VmRSS), or 0 if unknown.
+uint64_t CurrentRssBytes();
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_COMMON_MEM_H_

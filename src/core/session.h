@@ -85,7 +85,8 @@ class Session {
         graph_, options_.engine);
     ARIADNE_ASSIGN_OR_RETURN(RunStats stats, engine.Run(analytic));
     if (final_values != nullptr) {
-      final_values->assign(engine.values().begin(), engine.values().end());
+      // CopyValuesTo (not values()) so paged vertex state also works.
+      ARIADNE_RETURN_NOT_OK(engine.CopyValuesTo(final_values));
     }
     return stats;
   }
@@ -107,7 +108,8 @@ class Session {
     ARIADNE_ASSIGN_OR_RETURN(RunStats stats, engine.Run(program));
     ARIADNE_RETURN_NOT_OK(program.status());
     if (final_values != nullptr) {
-      final_values->assign(engine.values().begin(), engine.values().end());
+      // CopyValuesTo (not values()) so paged vertex state also works.
+      ARIADNE_RETURN_NOT_OK(engine.CopyValuesTo(final_values));
     }
     OnlineRunResult out;
     out.engine_stats = std::move(stats);
@@ -165,7 +167,8 @@ class Session {
                            << "); store kept fully in memory";
     }
     if (final_values != nullptr) {
-      final_values->assign(engine.values().begin(), engine.values().end());
+      // CopyValuesTo (not values()) so paged vertex state also works.
+      ARIADNE_RETURN_NOT_OK(engine.CopyValuesTo(final_values));
     }
     return stats;
   }

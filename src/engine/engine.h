@@ -10,12 +10,14 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/mem.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
 #include "engine/aggregators.h"
 #include "engine/types.h"
 #include "engine/vertex_program.h"
+#include "engine/vertex_state.h"
 #include "graph/graph.h"
 #include "recovery/checkpoint.h"
 #include "recovery/fault_injector.h"
@@ -90,9 +92,44 @@ class Engine {
       }
     }
 
+    // Out-of-core state (DESIGN.md §2.7): opt into paged vertex values,
+    // and note whether either graph or values live behind a buffer
+    // manager (enables residency hints + barrier error checks below).
+    if (options_.paged_vertex_state && !values_.paged()) {
+      if (options_.vertex_state_dir.empty()) {
+        return Status::InvalidArgument(
+            "paged_vertex_state requires vertex_state_dir");
+      }
+      Status cfg = values_.ConfigurePaged(
+          options_.vertex_state_dir + "/vertex_state.spill",
+          options_.vertex_state_budget_bytes);
+      if (cfg.IsUnsupported()) {
+        // Non-trivially-copyable V cannot be paged; fall back loudly.
+        ARIADNE_LOG(Warning)
+            << "engine: " << cfg.message() << "; using flat vertex state";
+      } else if (!cfg.ok()) {
+        return cfg;
+      }
+    }
+    ooc_ = graph_->paged() || values_.paged();
+
     PrepareBuffers(n);
-    for (VertexId v = 0; v < n; ++v) {
-      values_.push_back(program.InitialValue(v, *graph_));
+    ARIADNE_RETURN_NOT_OK(values_.Reset(static_cast<size_t>(n)));
+    {
+      // Initialize values through block windows: contiguous, so the paged
+      // store streams pages instead of faulting per vertex.
+      constexpr VertexId kInitBlock = 1 << 16;
+      for (VertexId b = 0; b < n; b += kInitBlock) {
+        const VertexId last = std::min<VertexId>(b + kInitBlock, n) - 1;
+        if (ooc_ && last + 1 < n) {
+          graph_->PrefetchVertexRange(last + 1,
+                                      std::min<VertexId>(last + kInitBlock, n - 1));
+        }
+        auto window = values_.AcquireWindow(b, last);
+        for (VertexId v = b; v <= last; ++v) {
+          window.at(v) = program.InitialValue(v, *graph_);
+        }
+      }
     }
     aggregators_.Reset();
     program.RegisterAggregators(aggregators_);
@@ -159,6 +196,17 @@ class Engine {
         compute_seconds = phase_timer.ElapsedSeconds();
       }
 
+      // Out-of-core barrier check: the span-returning adjacency/value
+      // accessors cannot report IO or checksum failures inline, so the
+      // backends record them sticky and the run fails here — loudly,
+      // before any partially-computed superstep is observable.
+      if (ooc_) {
+        ARIADNE_RETURN_NOT_OK(graph_->backend_error().WithContext(
+            "graph backend failed during superstep " + std::to_string(step)));
+        ARIADNE_RETURN_NOT_OK(values_.error().WithContext(
+            "vertex state failed during superstep " + std::to_string(step)));
+      }
+
       aggregators_.EndSuperstep();
       MasterContext master;
       master.superstep = step;
@@ -216,6 +264,9 @@ class Engine {
     stats.halted_by_cap = stats.supersteps == options_.max_supersteps &&
                           HasPendingWork();
     stats.seconds = run_timer.ElapsedSeconds();
+    stats.peak_rss_bytes = PeakRssBytes();
+    stats.graph_backend = graph_->backend_stats();
+    stats.vertex_state = values_.stats();
     stats.injected_faults = static_cast<int64_t>(
         recovery::FaultInjector::Global().fired_count() - faults_before);
     if (stats.dropped_messages > 0) {
@@ -227,8 +278,16 @@ class Engine {
     return stats;
   }
 
-  std::span<const V> values() const { return values_; }
-  const V& value(VertexId v) const { return values_[static_cast<size_t>(v)]; }
+  /// Zero-copy view of the vertex values. FLAT MODE ONLY: with paged
+  /// vertex state there is no contiguous array and this returns an empty
+  /// span — use CopyValuesTo, which works in both modes.
+  std::span<const V> values() const { return values_.flat_span(); }
+  const V& value(VertexId v) const {
+    return values_.flat_span()[static_cast<size_t>(v)];
+  }
+  /// Copies every vertex value into `out` (works for flat and paged
+  /// vertex state; the result-reporting path of Session and the tools).
+  Status CopyValuesTo(std::vector<V>* out) { return values_.CopyTo(out); }
   const Graph& graph() const { return *graph_; }
 
  private:
@@ -277,6 +336,10 @@ class Engine {
       sent_ = dropped_ = combined_ = 0;
     }
 
+    void SetWindow(typename VertexState<V>::Window* window) {
+      window_ = window;
+    }
+
     void Reset(VertexId v) {
       vertex_ = v;
       voted_halt_ = false;
@@ -289,11 +352,9 @@ class Engine {
     VertexId id() const override { return vertex_; }
     Superstep superstep() const override { return step_; }
     const Graph& graph() const override { return *engine_->graph_; }
-    const V& value() const override {
-      return engine_->values_[static_cast<size_t>(vertex_)];
-    }
+    const V& value() const override { return window_->at(vertex_); }
     void SetValue(V value) override {
-      engine_->values_[static_cast<size_t>(vertex_)] = std::move(value);
+      window_->at(vertex_) = std::move(value);
     }
     void SendMessage(VertexId target, M message) override {
       ++sent_;
@@ -340,6 +401,8 @@ class Engine {
     Engine* engine_;
     Superstep step_;
     VertexId vertex_ = 0;
+    /// Pinned value window of the current chunk (set by RunChunk).
+    typename VertexState<V>::Window* window_ = nullptr;
     std::vector<std::vector<Send>>* shards_ = nullptr;
     std::vector<Send>* flat_ = nullptr;
     const MessageCombiner<M>* sender_combiner_ = nullptr;
@@ -360,8 +423,6 @@ class Engine {
   /// capacities) from previous runs instead of reallocating.
   void PrepareBuffers(VertexId n) {
     const size_t un = static_cast<size_t>(n);
-    values_.clear();
-    values_.reserve(un);
     halted_.assign(un, 0);
     if (inbox_.size() != un) {
       inbox_.assign(un, {});
@@ -529,9 +590,23 @@ class Engine {
     });
   }
 
-  /// Runs the kernel for active-list positions [begin, end).
+  /// Runs the kernel for active-list positions [begin, end). The active
+  /// list is ascending, so the chunk's vertices span the contiguous range
+  /// [active_[begin], active_[end-1]] — one pinned value window covers
+  /// the whole chunk, and (out-of-core) the *next* chunk's topology and
+  /// value pages are hinted to the prefetchers before this one computes,
+  /// which is the "shard k computes while shard k+1 faults in" overlap of
+  /// DESIGN.md §2.7.
   void RunChunk(VertexProgram<V, M>& program, Ctx& ctx, size_t begin,
                 size_t end) {
+    if (ooc_ && end < active_.size()) {
+      const size_t next_end =
+          std::min(end + (end - begin), active_.size());
+      graph_->PrefetchVertexRange(active_[end], active_[next_end - 1]);
+      values_.PrefetchRange(active_[end], active_[next_end - 1]);
+    }
+    auto window = values_.AcquireWindow(active_[begin], active_[end - 1]);
+    ctx.SetWindow(&window);
     for (size_t i = begin; i < end; ++i) {
       const VertexId v = active_[i];
       ctx.Reset(v);
@@ -561,8 +636,21 @@ class Engine {
     body.WriteString(FingerprintString());
     body.WriteI64(next_step);
     body.WriteU64(values_.size());
-    for (const V& v : values_) {
-      recovery::CheckpointTraits<V>::Write(body, v);
+    {
+      // Block windows instead of a flat iteration: works identically for
+      // paged vertex state, so checkpoints restore across storage modes
+      // (a flat-run checkpoint resumes a paged run and vice versa — the
+      // bytes are the same).
+      const VertexId n = static_cast<VertexId>(values_.size());
+      constexpr VertexId kBlock = 1 << 16;
+      for (VertexId b = 0; b < n; b += kBlock) {
+        const VertexId last = std::min<VertexId>(b + kBlock, n) - 1;
+        auto window = values_.AcquireWindow(b, last);
+        for (VertexId v = b; v <= last; ++v) {
+          recovery::CheckpointTraits<V>::Write(body, window.at(v));
+        }
+      }
+      ARIADNE_RETURN_NOT_OK(values_.error());
     }
     body.WriteString(std::string(halted_.begin(), halted_.end()));
     for (const auto& box : inbox_) {
@@ -610,9 +698,18 @@ class Engine {
           "checkpoint vertex count " + std::to_string(n) + " != graph " +
           std::to_string(values_.size()) + " in " + path);
     }
-    for (size_t i = 0; i < n; ++i) {
-      ARIADNE_ASSIGN_OR_RETURN(values_[i],
-                               recovery::CheckpointTraits<V>::Read(r));
+    {
+      const VertexId vn = static_cast<VertexId>(n);
+      constexpr VertexId kBlock = 1 << 16;
+      for (VertexId b = 0; b < vn; b += kBlock) {
+        const VertexId last = std::min<VertexId>(b + kBlock, vn) - 1;
+        auto window = values_.AcquireWindow(b, last);
+        for (VertexId v = b; v <= last; ++v) {
+          ARIADNE_ASSIGN_OR_RETURN(window.at(v),
+                                   recovery::CheckpointTraits<V>::Read(r));
+        }
+      }
+      ARIADNE_RETURN_NOT_OK(values_.error());
     }
     ARIADNE_ASSIGN_OR_RETURN(std::string halted, r.ReadString());
     if (halted.size() != n) {
@@ -676,7 +773,12 @@ class Engine {
   EngineOptions options_;
   ThreadPool pool_;
   size_t num_shards_ = 1;
-  std::vector<V> values_;
+  /// Vertex values — flat vector or paged store (EngineOptions::
+  /// paged_vertex_state). All access goes through chunk windows.
+  VertexState<V> values_;
+  /// Graph or values are behind a buffer manager this run: drive the
+  /// prefetchers and check the sticky backend errors at barriers.
+  bool ooc_ = false;
   std::vector<uint8_t> halted_;
   std::vector<std::vector<M>> inbox_;
   std::vector<std::vector<M>> next_inbox_;

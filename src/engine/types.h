@@ -69,6 +69,36 @@ struct EngineOptions {
   /// run B (different analytic, parameters, or capture query). The engine
   /// adds graph dimensions on top of this string.
   std::string checkpoint_fingerprint;
+
+  // -- Out-of-core vertex state (DESIGN.md §2.7) --
+
+  /// Keep vertex values in fixed-size checksummed pages under a byte
+  /// budget, spilling cold pages to a scratch file in vertex_state_dir.
+  /// Requires a trivially-copyable vertex value type (the engine falls
+  /// back to flat storage with a warning otherwise). Residency never
+  /// affects values: runs are byte-identical to flat storage for any
+  /// budget or thread count.
+  bool paged_vertex_state = false;
+  /// Decoded-page budget for paged vertex state (the vertex-state share of
+  /// the unified memory budget, storage/memory_budget.h).
+  size_t vertex_state_budget_bytes = 32ull << 20;
+  /// Directory for the vertex-state spill file (required when
+  /// paged_vertex_state is set; the file is scratch, removed afterwards).
+  std::string vertex_state_dir;
+};
+
+/// Counters of the engine's paged vertex-value store (all zero in flat
+/// mode). Mirrors GraphBackendStats for the values side of §2.7.
+struct VertexStateStats {
+  bool paged = false;
+  uint64_t budget_bytes = 0;
+  uint64_t resident_bytes = 0;
+  uint64_t footprint_bytes = 0;  ///< num_vertices * sizeof(V)
+  uint64_t page_faults = 0;      ///< demand loads that blocked a window
+  uint64_t prefetch_loads = 0;   ///< pages loaded by the prefetcher
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;  ///< dirty pages written to the spill file
+  int32_t pages = 0;
 };
 
 /// Context handed to the program checkpoint hooks (DESIGN.md §2.4).
@@ -133,6 +163,18 @@ struct RunStats {
   /// over it. capture_degraded_at is the superstep where degradation hit.
   bool capture_degraded = false;
   Superstep capture_degraded_at = -1;
+
+  // -- Memory accounting (DESIGN.md §2.7) --
+
+  /// Process peak RSS (VmHWM) sampled when the run finished; 0 if the
+  /// platform offers no reading. Covers the whole process, not just this
+  /// engine — the out-of-core claim in one number.
+  uint64_t peak_rss_bytes = 0;
+  /// Topology cache counters of the graph backend this run iterated
+  /// (all zero for the in-memory backend).
+  GraphBackendStats graph_backend;
+  /// Paged vertex-value store counters (all zero in flat mode).
+  VertexStateStats vertex_state;
   std::vector<SuperstepStats> steps;
 };
 

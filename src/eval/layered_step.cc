@@ -69,6 +69,10 @@ AdjacencyCache::AdjacencyCache(const Graph* graph) : graph_(graph) {
 void AdjacencyCache::Precompute() {
   for (int plane = 0; plane < 3; ++plane) {
     for (VertexId v = 0; v < graph_->num_vertices(); ++v) {
+      // Sequential whole-graph sweep: with a paged graph backend this
+      // hint overlaps the next partition's fault with this one's fills
+      // (no-op for the in-memory backend).
+      graph_->AdviseSequentialScan(v);
       Fill(plane, v);
     }
   }

@@ -179,6 +179,10 @@ class NaiveProgram final : public VertexProgram<char, NaiveShipMessage> {
     uint8_t& filled =
         adj_filled_[static_cast<size_t>(plane)][static_cast<size_t>(v)];
     if (!filled) {
+      // Hint the paged graph backend: naive eval fills adjacency in
+      // ascending vertex order, so boundary crossings prefetch the next
+      // partition (no-op for the in-memory backend).
+      graph_->AdviseSequentialScan(v);
       if (plane != 2) {
         auto nbrs = graph_->OutNeighbors(v);
         slot.insert(slot.end(), nbrs.begin(), nbrs.end());

@@ -22,6 +22,7 @@ Result<Graph> Graph::FromEdges(VertexId num_vertices,
 
   Graph g;
   g.num_vertices_ = num_vertices;
+  g.num_edges_ = static_cast<int64_t>(edges.size());
   const size_t m = edges.size();
 
   // Counting sort into CSR, out-direction.
@@ -80,6 +81,102 @@ Result<Graph> Graph::FromEdges(VertexId num_vertices,
       g.in_weight_[i] = tmp[static_cast<size_t>(i - ib)].second;
     }
   }
+  return g;
+}
+
+namespace {
+
+// Validates one CSR direction: offsets monotone, starting at 0, covering
+// `adjacency` exactly, with every neighbor id in range.
+Status CheckCsrSide(const char* side, VertexId num_vertices,
+                    const std::vector<int64_t>& offsets,
+                    const std::vector<VertexId>& adjacency,
+                    const std::vector<double>& weights) {
+  if (offsets.size() != static_cast<size_t>(num_vertices) + 1 ||
+      offsets.front() != 0) {
+    return Status::InvalidArgument(std::string(side) +
+                                   " offsets malformed (size/first entry)");
+  }
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      return Status::InvalidArgument(std::string(side) +
+                                     " offsets not monotone at vertex " +
+                                     std::to_string(i - 1));
+    }
+  }
+  if (offsets.back() != static_cast<int64_t>(adjacency.size()) ||
+      adjacency.size() != weights.size()) {
+    return Status::InvalidArgument(
+        std::string(side) + " offsets/adjacency/weight sizes disagree");
+  }
+  for (VertexId u : adjacency) {
+    if (u < 0 || u >= num_vertices) {
+      return Status::OutOfRange(std::string(side) + " neighbor " +
+                                std::to_string(u) + " outside [0," +
+                                std::to_string(num_vertices) + ")");
+    }
+  }
+  return Status::OK();
+}
+
+// Sorts each vertex's adjacency by (neighbor, weight) — the iteration-order
+// contract FromEdges establishes and every backend must match.
+void SortCsrAdjacency(VertexId num_vertices,
+                      const std::vector<int64_t>& offsets,
+                      std::vector<VertexId>* adjacency,
+                      std::vector<double>* weights) {
+  std::vector<std::pair<VertexId, double>> tmp;
+  for (VertexId v = 0; v < num_vertices; ++v) {
+    const int64_t b = offsets[v], e = offsets[v + 1];
+    if (e - b < 2) continue;
+    tmp.clear();
+    tmp.reserve(static_cast<size_t>(e - b));
+    for (int64_t i = b; i < e; ++i) {
+      tmp.emplace_back((*adjacency)[i], (*weights)[i]);
+    }
+    std::sort(tmp.begin(), tmp.end());
+    for (int64_t i = b; i < e; ++i) {
+      (*adjacency)[i] = tmp[static_cast<size_t>(i - b)].first;
+      (*weights)[i] = tmp[static_cast<size_t>(i - b)].second;
+    }
+  }
+}
+
+}  // namespace
+
+Result<Graph> Graph::FromCsr(VertexId num_vertices,
+                             std::vector<int64_t> out_offsets,
+                             std::vector<VertexId> out_dst,
+                             std::vector<double> out_weight,
+                             std::vector<int64_t> in_offsets,
+                             std::vector<VertexId> in_src,
+                             std::vector<double> in_weight,
+                             bool adjacency_sorted) {
+  if (num_vertices < 0) {
+    return Status::InvalidArgument("negative vertex count");
+  }
+  ARIADNE_RETURN_NOT_OK(
+      CheckCsrSide("out", num_vertices, out_offsets, out_dst, out_weight));
+  ARIADNE_RETURN_NOT_OK(
+      CheckCsrSide("in", num_vertices, in_offsets, in_src, in_weight));
+  if (out_dst.size() != in_src.size()) {
+    return Status::InvalidArgument("out/in edge counts disagree: " +
+                                   std::to_string(out_dst.size()) + " vs " +
+                                   std::to_string(in_src.size()));
+  }
+  if (!adjacency_sorted) {
+    SortCsrAdjacency(num_vertices, out_offsets, &out_dst, &out_weight);
+    SortCsrAdjacency(num_vertices, in_offsets, &in_src, &in_weight);
+  }
+  Graph g;
+  g.num_vertices_ = num_vertices;
+  g.num_edges_ = static_cast<int64_t>(out_dst.size());
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_dst_ = std::move(out_dst);
+  g.out_weight_ = std::move(out_weight);
+  g.in_offsets_ = std::move(in_offsets);
+  g.in_src_ = std::move(in_src);
+  g.in_weight_ = std::move(in_weight);
   return g;
 }
 

@@ -22,10 +22,39 @@ struct Edge {
   bool operator==(const Edge& other) const = default;
 };
 
-/// Immutable directed graph in CSR (compressed sparse row) form with both
-/// out- and in-adjacency, plus per-edge double weights. This is the input
-/// graph the VC engine iterates over; provenance annotates its vertices
-/// (compact representation, paper §3).
+/// Counters of a paged graph backend (all zero for the in-memory backend).
+/// Reported through RunStats and `ariadne_run --stats-json` so out-of-core
+/// runs are measurable from one JSON blob (DESIGN.md §2.7).
+struct GraphBackendStats {
+  uint64_t budget_bytes = 0;     ///< decoded-fragment cache budget
+  uint64_t resident_bytes = 0;   ///< decoded bytes currently cached
+  uint64_t footprint_bytes = 0;  ///< decoded bytes of the whole topology
+  uint64_t partition_faults = 0;  ///< demand loads that blocked a reader
+  uint64_t cache_hits = 0;        ///< fault-path hits in the fragment cache
+  uint64_t prefetch_loads = 0;    ///< fragment loads done by the prefetcher
+  uint64_t prefetch_requests = 0;  ///< prefetch hints enqueued
+  uint64_t evictions = 0;
+  uint64_t max_partition_bytes = 0;  ///< largest decoded fragment (working set)
+  int32_t partitions = 0;
+};
+
+/// Directed graph in CSR (compressed sparse row) form with both out- and
+/// in-adjacency, plus per-edge double weights. This is the input graph the
+/// VC engine iterates over; provenance annotates its vertices (compact
+/// representation, paper §3).
+///
+/// `Graph` doubles as the *GraphBackend* interface (DESIGN.md §2.7): the
+/// virtual adjacency surface below is the pluggable-storage contract, and
+/// this base class IS the in-memory backend — zero-copy spans straight
+/// over resident CSR arrays, exactly the pre-backend behavior. The paged
+/// backend (`PagedBackend`, src/graph/paged_backend.h) overrides the
+/// surface with buffer-managed partition fragments faulted from a
+/// checksummed spill file under a byte budget, plus async prefetch. Every
+/// consumer (engine, analytics, eval, serve) programs against `const
+/// Graph&` and works with either backend; vertex values and captured
+/// provenance are byte-identical across backends by construction, because
+/// a backend only changes *where* topology bytes live, never their
+/// content.
 class Graph {
  public:
   /// Builds a graph with `num_vertices` vertices (ids [0, num_vertices))
@@ -35,35 +64,96 @@ class Graph {
   static Result<Graph> FromEdges(VertexId num_vertices,
                                  std::vector<Edge> edges);
 
+  /// Builds directly from prefilled CSR arrays (both directions). Offsets
+  /// must be monotone and cover the arrays exactly; adjacency is sorted
+  /// per vertex by (neighbor, weight) unless `adjacency_sorted` promises
+  /// it already is. The streaming loaders (graph/io.cc) use this to
+  /// construct a graph without ever materializing an edge list.
+  static Result<Graph> FromCsr(VertexId num_vertices,
+                               std::vector<int64_t> out_offsets,
+                               std::vector<VertexId> out_dst,
+                               std::vector<double> out_weight,
+                               std::vector<int64_t> in_offsets,
+                               std::vector<VertexId> in_src,
+                               std::vector<double> in_weight,
+                               bool adjacency_sorted = false);
+
   Graph() = default;
+  virtual ~Graph() = default;
+  Graph(const Graph&) = default;
+  Graph& operator=(const Graph&) = default;
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
 
+  // Counts are plain members (set by every backend), so the per-message
+  // range check in the engine's send path never pays a virtual call.
   VertexId num_vertices() const { return num_vertices_; }
-  int64_t num_edges() const { return static_cast<int64_t>(out_dst_.size()); }
+  int64_t num_edges() const { return num_edges_; }
 
-  int64_t OutDegree(VertexId v) const {
+  // ---- Backend surface (virtual; base = in-memory backend) ----
+
+  virtual int64_t OutDegree(VertexId v) const {
     return out_offsets_[v + 1] - out_offsets_[v];
   }
-  int64_t InDegree(VertexId v) const {
+  virtual int64_t InDegree(VertexId v) const {
     return in_offsets_[v + 1] - in_offsets_[v];
   }
 
-  std::span<const VertexId> OutNeighbors(VertexId v) const {
+  virtual std::span<const VertexId> OutNeighbors(VertexId v) const {
     return {out_dst_.data() + out_offsets_[v],
             static_cast<size_t>(OutDegree(v))};
   }
-  std::span<const double> OutWeights(VertexId v) const {
+  virtual std::span<const double> OutWeights(VertexId v) const {
     return {out_weight_.data() + out_offsets_[v],
             static_cast<size_t>(OutDegree(v))};
   }
-  std::span<const VertexId> InNeighbors(VertexId v) const {
+  virtual std::span<const VertexId> InNeighbors(VertexId v) const {
     return {in_src_.data() + in_offsets_[v], static_cast<size_t>(InDegree(v))};
   }
-  std::span<const double> InWeights(VertexId v) const {
+  virtual std::span<const double> InWeights(VertexId v) const {
     return {in_weight_.data() + in_offsets_[v],
             static_cast<size_t>(InDegree(v))};
   }
 
-  /// True if the directed edge (src, dst) exists (linear in OutDegree(src)).
+  /// Short backend name for logs/stats ("in-memory", "paged").
+  virtual const char* backend_name() const { return "in-memory"; }
+
+  /// True when topology lives behind a buffer manager; the engine only
+  /// issues residency hints (and barrier error checks) when set.
+  virtual bool paged() const { return false; }
+
+  /// Partition geometry. The in-memory backend is one partition spanning
+  /// every vertex; the paged backend cuts vertices into contiguous
+  /// fixed-width ranges whose fragments fault in and out independently.
+  virtual int num_partitions() const { return 1; }
+  /// Vertices per partition (prefetch-window unit for the engine).
+  virtual VertexId PartitionSpan() const { return num_vertices_; }
+
+  /// Asynchronous hint that vertices [first, last] are about to be read.
+  /// Best-effort and content-neutral: prefetching only warms the fragment
+  /// cache, so results are identical whether or not hints are issued.
+  virtual void PrefetchVertexRange(VertexId first, VertexId last) const {
+    (void)first;
+    (void)last;
+  }
+
+  /// Hint from sequential whole-graph scans (adjacency precompute, naive
+  /// eval): called with each visited vertex; the paged backend kicks off
+  /// the next partition's load when `v` crosses a partition boundary.
+  virtual void AdviseSequentialScan(VertexId v) const { (void)v; }
+
+  /// Sticky IO/corruption error of the backend's read path. Adjacency
+  /// accessors cannot return Status (they hand out spans on the hot
+  /// path), so a failed fault records the error here and serves an empty
+  /// span; the engine re-checks at every superstep barrier and fails the
+  /// run loudly instead of computing over silently missing edges.
+  virtual Status backend_error() const { return Status::OK(); }
+
+  virtual GraphBackendStats backend_stats() const { return {}; }
+
+  // ---- Non-virtual helpers (defined over the surface above) ----
+
+  /// True if the directed edge (src, dst) exists (log in OutDegree(src)).
   bool HasEdge(VertexId src, VertexId dst) const;
 
   double AverageDegree() const {
@@ -81,8 +171,17 @@ class Graph {
            static_cast<size_t>(num_edges()) * 20;
   }
 
+ protected:
+  /// Derived backends (which keep no resident CSR arrays) set the counts
+  /// the non-virtual accessors serve.
+  void SetCounts(VertexId num_vertices, int64_t num_edges) {
+    num_vertices_ = num_vertices;
+    num_edges_ = num_edges;
+  }
+
  private:
   VertexId num_vertices_ = 0;
+  int64_t num_edges_ = 0;
   std::vector<int64_t> out_offsets_;  // size num_vertices_ + 1
   std::vector<VertexId> out_dst_;
   std::vector<double> out_weight_;

@@ -15,31 +15,84 @@ constexpr uint32_t kBinaryMagic = 0x41524731;  // "ARG1"
 
 Result<Graph> LoadEdgeList(const std::string& path,
                            VertexId num_vertices_hint) {
+  // Streaming two-pass construction straight into CSR (DESIGN.md §2.7):
+  // pass 1 finds dimensions and per-vertex degrees, pass 2 scatters edges
+  // into the preallocated arrays. Peak memory is the final CSR plus two
+  // cursor arrays — the old edge-vector path peaked at ~2x graph size.
   std::ifstream in(path);
   if (!in) return Status::IOError("cannot open edge list: " + path);
-  GraphBuilder builder;
-  builder.EnsureVertices(num_vertices_hint);
+  std::vector<int64_t> out_offsets(1, 0), in_offsets(1, 0);
+  auto ensure_vertex = [&](VertexId v) {
+    if (static_cast<size_t>(v) + 2 > out_offsets.size()) {
+      out_offsets.resize(static_cast<size_t>(v) + 2, 0);
+      in_offsets.resize(static_cast<size_t>(v) + 2, 0);
+    }
+  };
+  if (num_vertices_hint > 0) ensure_vertex(num_vertices_hint - 1);
   std::string line;
   int64_t lineno = 0;
+  int64_t num_edges = 0;
   while (std::getline(in, line)) {
     ++lineno;
     std::string_view trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
     std::istringstream ls{std::string(trimmed)};
     VertexId src, dst;
-    double weight = 1.0;
     if (!(ls >> src >> dst)) {
       return Status::ParseError(path + ":" + std::to_string(lineno) +
                                 ": expected 'src dst [weight]'");
     }
-    ls >> weight;  // optional
     if (src < 0 || dst < 0) {
       return Status::ParseError(path + ":" + std::to_string(lineno) +
                                 ": negative vertex id");
     }
-    builder.AddEdge(src, dst, weight);
+    ensure_vertex(std::max(src, dst));
+    ++out_offsets[static_cast<size_t>(src) + 1];
+    ++in_offsets[static_cast<size_t>(dst) + 1];
+    ++num_edges;
   }
-  return builder.Build();
+  const VertexId n = static_cast<VertexId>(out_offsets.size()) - 1;
+  for (size_t v = 0; v + 1 < out_offsets.size(); ++v) {
+    out_offsets[v + 1] += out_offsets[v];
+    in_offsets[v + 1] += in_offsets[v];
+  }
+  std::vector<VertexId> out_dst(static_cast<size_t>(num_edges));
+  std::vector<double> out_weight(static_cast<size_t>(num_edges));
+  std::vector<VertexId> in_src(static_cast<size_t>(num_edges));
+  std::vector<double> in_weight(static_cast<size_t>(num_edges));
+  {
+    std::vector<int64_t> out_cursor(out_offsets.begin(),
+                                    out_offsets.end() - 1);
+    std::vector<int64_t> in_cursor(in_offsets.begin(), in_offsets.end() - 1);
+    in.clear();
+    in.seekg(0);
+    if (!in) return Status::IOError("cannot rewind edge list: " + path);
+    while (std::getline(in, line)) {
+      std::string_view trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#' || trimmed[0] == '%') continue;
+      std::istringstream ls{std::string(trimmed)};
+      VertexId src, dst;
+      double weight = 1.0;
+      if (!(ls >> src >> dst)) {
+        return Status::ParseError(path +
+                                  ": file changed between loader passes");
+      }
+      ls >> weight;  // optional
+      if (src < 0 || src >= n || dst < 0 || dst >= n) {
+        return Status::ParseError(path +
+                                  ": file changed between loader passes");
+      }
+      const int64_t op = out_cursor[static_cast<size_t>(src)]++;
+      out_dst[static_cast<size_t>(op)] = dst;
+      out_weight[static_cast<size_t>(op)] = weight;
+      const int64_t ip = in_cursor[static_cast<size_t>(dst)]++;
+      in_src[static_cast<size_t>(ip)] = src;
+      in_weight[static_cast<size_t>(ip)] = weight;
+    }
+  }
+  return Graph::FromCsr(n, std::move(out_offsets), std::move(out_dst),
+                        std::move(out_weight), std::move(in_offsets),
+                        std::move(in_src), std::move(in_weight));
 }
 
 Status SaveEdgeList(const Graph& graph, const std::string& path) {
@@ -85,20 +138,60 @@ Result<Graph> LoadBinary(const std::string& path) {
   }
   ARIADNE_ASSIGN_OR_RETURN(int64_t n, r.ReadI64());
   ARIADNE_ASSIGN_OR_RETURN(int64_t m, r.ReadI64());
-  std::vector<Edge> edges;
-  edges.reserve(static_cast<size_t>(m));
+  if (n < 0 || m < 0) {
+    return Status::ParseError("negative dimensions in binary graph");
+  }
+  // Single-pass CSR build: the file stores each vertex's out-adjacency in
+  // order, so the out arrays fill front to back while in-degrees are
+  // counted; the in-direction is then scattered from the out CSR. No
+  // intermediate edge vector (the old path peaked at ~2x graph size).
+  std::vector<int64_t> out_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<int64_t> in_offsets(static_cast<size_t>(n) + 1, 0);
+  std::vector<VertexId> out_dst(static_cast<size_t>(m));
+  std::vector<double> out_weight(static_cast<size_t>(m));
+  int64_t filled = 0;
   for (VertexId v = 0; v < n; ++v) {
     ARIADNE_ASSIGN_OR_RETURN(int64_t deg, r.ReadI64());
+    if (deg < 0 || deg > m - filled) {
+      return Status::ParseError("edge count mismatch in binary graph");
+    }
     for (int64_t i = 0; i < deg; ++i) {
       ARIADNE_ASSIGN_OR_RETURN(int64_t dst, r.ReadI64());
       ARIADNE_ASSIGN_OR_RETURN(double weight, r.ReadDouble());
-      edges.push_back(Edge{v, dst, weight});
+      if (dst < 0 || dst >= n) {
+        return Status::ParseError("vertex id out of range in binary graph");
+      }
+      out_dst[static_cast<size_t>(filled)] = dst;
+      out_weight[static_cast<size_t>(filled)] = weight;
+      ++in_offsets[static_cast<size_t>(dst) + 1];
+      ++filled;
     }
+    out_offsets[static_cast<size_t>(v) + 1] = filled;
   }
-  if (static_cast<int64_t>(edges.size()) != m) {
+  if (filled != m) {
     return Status::ParseError("edge count mismatch in binary graph");
   }
-  return Graph::FromEdges(n, std::move(edges));
+  for (VertexId v = 0; v < n; ++v) {
+    in_offsets[static_cast<size_t>(v) + 1] +=
+        in_offsets[static_cast<size_t>(v)];
+  }
+  std::vector<VertexId> in_src(static_cast<size_t>(m));
+  std::vector<double> in_weight(static_cast<size_t>(m));
+  {
+    std::vector<int64_t> cursor(in_offsets.begin(), in_offsets.end() - 1);
+    for (VertexId v = 0; v < n; ++v) {
+      for (int64_t i = out_offsets[static_cast<size_t>(v)];
+           i < out_offsets[static_cast<size_t>(v) + 1]; ++i) {
+        const VertexId dst = out_dst[static_cast<size_t>(i)];
+        const int64_t ip = cursor[static_cast<size_t>(dst)]++;
+        in_src[static_cast<size_t>(ip)] = v;
+        in_weight[static_cast<size_t>(ip)] = out_weight[static_cast<size_t>(i)];
+      }
+    }
+  }
+  return Graph::FromCsr(n, std::move(out_offsets), std::move(out_dst),
+                        std::move(out_weight), std::move(in_offsets),
+                        std::move(in_src), std::move(in_weight));
 }
 
 }  // namespace ariadne

@@ -27,6 +27,12 @@ namespace ariadne::recovery {
 /// the store's durable-layer watermark travels inside the image).
 /// Loading verifies magic, version and the body checksum before any field
 /// is parsed; every parse error names the file and byte offset.
+///
+/// Checkpoints are storage-backend-neutral: vertex values are framed as a
+/// flat [id-ordered] array regardless of whether the run held them in the
+/// flat vector or the paged VertexState (DESIGN.md §2.7), so a checkpoint
+/// written by an in-memory run resumes under --graph-backend paged (and
+/// vice versa) with byte-identical state.
 
 inline constexpr uint32_t kCheckpointMagic = 0x31504341;  ///< "ACP1"
 inline constexpr uint32_t kCheckpointVersion = 1;

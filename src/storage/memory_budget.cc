@@ -1,0 +1,41 @@
+#include "storage/memory_budget.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ariadne::storage {
+
+BudgetSplit ResolveBudgetSplit(size_t total_bytes, bool graph_paged,
+                               double graph_fraction) {
+  BudgetSplit split;
+  split.total = total_bytes;
+  if (!graph_paged) {
+    split.provenance = total_bytes;
+    return split;
+  }
+  if (!(graph_fraction > 0.0) || !(graph_fraction < 1.0)) {
+    graph_fraction = kDefaultGraphBudgetFraction;
+  }
+  const double graph_share =
+      static_cast<double>(total_bytes) * graph_fraction;
+  split.graph_topology =
+      static_cast<size_t>(graph_share * kTopologySliceOfGraphShare);
+  split.vertex_state = static_cast<size_t>(graph_share) -
+                       split.graph_topology;
+  split.provenance = total_bytes - split.graph_topology - split.vertex_state;
+  return split;
+}
+
+std::string DescribeBudgetSplit(const BudgetSplit& split) {
+  auto mib = [](size_t bytes) {
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+  };
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "prov=%.1fMiB topo=%.1fMiB vstate=%.1fMiB",
+                mib(split.provenance), mib(split.graph_topology),
+                mib(split.vertex_state));
+  return buf;
+}
+
+}  // namespace ariadne::storage

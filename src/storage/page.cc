@@ -234,6 +234,61 @@ uint64_t Fnv1a(std::string_view data) {
   return h;
 }
 
+uint64_t Checksum64(std::string_view data) {
+  uint64_t h = 0xcbf29ce484222325ull ^ (data.size() * 0x9e3779b97f4a7c15ull);
+  const char* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = (h ^ w) * 0x100000001b3ull;
+    h ^= h >> 29;
+    p += 8;
+    n -= 8;
+  }
+  if (n > 0) {
+    uint64_t w = 0;
+    std::memcpy(&w, p, n);
+    h = (h ^ w) * 0x100000001b3ull;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+void AppendCheckedFrame(std::string_view payload, std::string* out) {
+  const uint64_t len = payload.size();
+  out->append(reinterpret_cast<const char*>(&len), sizeof(len));
+  out->append(payload);
+  const uint64_t sum = Checksum64(payload);
+  out->append(reinterpret_cast<const char*>(&sum), sizeof(sum));
+}
+
+Result<std::string_view> ParseCheckedFrame(std::string_view data,
+                                           size_t* offset) {
+  const size_t start = *offset;
+  if (start > data.size() ||
+      data.size() - start < kCheckedFrameOverhead) {
+    return Status::ParseError("truncated frame header at byte " +
+                              std::to_string(start));
+  }
+  uint64_t len;
+  std::memcpy(&len, data.data() + start, sizeof(len));
+  if (len > data.size() - start - kCheckedFrameOverhead) {
+    return Status::ParseError("frame length " + std::to_string(len) +
+                              " at byte " + std::to_string(start) +
+                              " exceeds remaining bytes");
+  }
+  const std::string_view payload = data.substr(start + 8, len);
+  uint64_t want;
+  std::memcpy(&want, data.data() + start + 8 + len, sizeof(want));
+  if (Checksum64(payload) != want) {
+    return Status::ParseError("frame checksum mismatch at byte " +
+                              std::to_string(start));
+  }
+  *offset = start + kCheckedFrameOverhead + len;
+  return payload;
+}
+
 Result<uint64_t> ByteReader::ReadVarint() {
   uint64_t v = 0;
   for (int shift = 0; shift < 64; shift += 7) {

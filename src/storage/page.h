@@ -49,6 +49,33 @@ void AppendZigzag(std::string* out, int64_t v);
 /// FNV-1a checksum used to detect spill-file corruption.
 uint64_t Fnv1a(std::string_view data);
 
+/// Word-wise FNV-1a variant: folds 8 bytes per multiply instead of one.
+/// ~8x faster than Fnv1a at equivalent corruption-detection strength
+/// (any single-bit flip changes the digest); used for the graph backend's
+/// raw page frames, whose decode path is a memcpy and must not be
+/// bottlenecked by the checksum (DESIGN.md §2.7). Not interchangeable
+/// with Fnv1a — the provenance page format keeps the byte-wise digest.
+uint64_t Checksum64(std::string_view data);
+
+// ---- Raw checked frames (graph backend page format, DESIGN.md §2.7) ----
+//
+// A checked frame is [payload_len u64][payload][Checksum64(payload) u64],
+// all little-endian. The paged graph backend lays its partition payloads
+// out as a sequence of fixed-size checked frames ("graph pages"), so a
+// bit flip or truncation anywhere in a spill file surfaces as a Status
+// error at read time, mirroring the provenance page format.
+
+/// Serialized overhead of one checked frame (length + checksum words).
+inline constexpr size_t kCheckedFrameOverhead = 16;
+
+/// Appends one checked frame holding `payload` to `out`.
+void AppendCheckedFrame(std::string_view payload, std::string* out);
+
+/// Parses the checked frame starting at `*offset` in `data`, advancing
+/// `*offset` past it. Bounds and checksum failures name the byte offset.
+Result<std::string_view> ParseCheckedFrame(std::string_view data,
+                                           size_t* offset);
+
 /// Bounds-checked cursor over an encoded payload. All reads fail with
 /// OutOfRange instead of walking past the end; `pos()` feeds the
 /// offset-bearing error messages of the layer store.

@@ -18,16 +18,22 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
+#include <unistd.h>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "analytics/bfs.h"
 #include "common/json.h"
+#include "common/mem.h"
 #include "common/serialize.h"
 #include "common/string_util.h"
 #include "core/ariadne.h"
+#include "graph/paged_backend.h"
 #include "recovery/checkpoint.h"
 #include "recovery/fault_injector.h"
+#include "storage/memory_budget.h"
 
 using namespace ariadne;
 
@@ -48,8 +54,22 @@ struct Args {
   int retention = 2;
   std::string dump_table;
   std::string spill_dir;
-  double mem_budget_mb = 0;  ///< meaningful with --spill-dir
+  /// TOTAL unified memory budget across provenance page cache, paged graph
+  /// topology, and paged vertex state (storage/memory_budget.h). With the
+  /// in-memory graph backend the whole budget goes to provenance (legacy
+  /// behavior); with --graph-backend paged it is split by
+  /// --graph-budget-fraction.
+  double mem_budget_mb = 0;
   int flush_threads = 1;
+  std::string graph_backend = "memory";  ///< memory|paged
+  double graph_budget_fraction =
+      storage::kDefaultGraphBudgetFraction;  ///< graph share of total budget
+  std::string graph_spill;  ///< AGP1 spill path (default under --spill-dir)
+  /// Vertices per AGP1 partition frame (0 = default targeting ~4 MiB
+  /// decoded fragments; small values force paging on small graphs).
+  VertexId graph_partition_span = 0;
+  /// Resolved split of --mem-budget-mb, computed once in main().
+  storage::BudgetSplit split;
   bool plan_joins = true;  ///< --no-plan: legacy literal order and probes
   std::string checkpoint_dir;
   int checkpoint_every = 0;
@@ -72,6 +92,9 @@ int Usage() {
                "  [--retention W] [--dump <table>] [--no-plan]\n"
                "  [--spill-dir <dir>] [--mem-budget-mb M] "
                "[--flush-threads N]\n"
+               "  [--graph-backend memory|paged] "
+               "[--graph-budget-fraction F] [--graph-spill <file>]\n"
+               "  [--graph-partition-span N]\n"
                "  [--checkpoint-dir <dir>] [--checkpoint-every N] [--resume]\n"
                "  [--inject point:N[+][:error|throw|crash],...] "
                "[--inject-seed S]\n"
@@ -217,6 +240,85 @@ std::string StorageStatsJson(const storage::StorageStats& st) {
   return o.Dump();
 }
 
+std::string GraphBackendStatsJson(const GraphBackendStats& g) {
+  json::JsonObject o;
+  o.Set("budget_bytes", g.budget_bytes)
+      .Set("resident_bytes", g.resident_bytes)
+      .Set("footprint_bytes", g.footprint_bytes)
+      .Set("partition_faults", g.partition_faults)
+      .Set("cache_hits", g.cache_hits)
+      .Set("prefetch_loads", g.prefetch_loads)
+      .Set("prefetch_requests", g.prefetch_requests)
+      .Set("evictions", g.evictions)
+      .Set("max_partition_bytes", g.max_partition_bytes)
+      .Set("partitions", static_cast<int64_t>(g.partitions));
+  return o.Dump();
+}
+
+std::string VertexStateStatsJson(const VertexStateStats& s) {
+  json::JsonObject o;
+  o.Set("paged", s.paged)
+      .Set("budget_bytes", s.budget_bytes)
+      .Set("resident_bytes", s.resident_bytes)
+      .Set("footprint_bytes", s.footprint_bytes)
+      .Set("page_faults", s.page_faults)
+      .Set("prefetch_loads", s.prefetch_loads)
+      .Set("evictions", s.evictions)
+      .Set("writebacks", s.writebacks)
+      .Set("pages", static_cast<int64_t>(s.pages));
+  return o.Dump();
+}
+
+std::string BudgetJson(const storage::BudgetSplit& split) {
+  json::JsonObject o;
+  o.Set("total_bytes", static_cast<uint64_t>(split.total))
+      .Set("provenance_bytes", static_cast<uint64_t>(split.provenance))
+      .Set("graph_topology_bytes",
+           static_cast<uint64_t>(split.graph_topology))
+      .Set("vertex_state_bytes", static_cast<uint64_t>(split.vertex_state));
+  return o.Dump();
+}
+
+/// Memory section shared by both --stats-json branches: unified budget
+/// split, peak RSS, and the per-component backend counters.
+void AddMemoryStats(json::JsonObject& root, const Args& args,
+                    const RunStats& stats) {
+  root.Set("peak_rss_bytes", stats.peak_rss_bytes)
+      .Set("graph_backend_name",
+           args.graph_backend == "paged" ? "paged" : "memory");
+  root.SetRaw("budget", BudgetJson(args.split));
+  root.SetRaw("graph_backend", GraphBackendStatsJson(stats.graph_backend));
+  root.SetRaw("vertex_state", VertexStateStatsJson(stats.vertex_state));
+}
+
+void PrintMemoryStats(const Args& args, const RunStats& stats) {
+  if (args.graph_backend != "paged") return;
+  const GraphBackendStats& g = stats.graph_backend;
+  const VertexStateStats& s = stats.vertex_state;
+  std::printf(
+      "memory: budget %s, peak rss %s\n",
+      storage::DescribeBudgetSplit(args.split).c_str(),
+      HumanBytes(stats.peak_rss_bytes).c_str());
+  std::printf(
+      "graph backend: %d partition(s), %llu fault(s), %llu cache hit(s), "
+      "%llu prefetch load(s), %llu eviction(s), %s resident of %s\n",
+      g.partitions, static_cast<unsigned long long>(g.partition_faults),
+      static_cast<unsigned long long>(g.cache_hits),
+      static_cast<unsigned long long>(g.prefetch_loads),
+      static_cast<unsigned long long>(g.evictions),
+      HumanBytes(g.resident_bytes).c_str(),
+      HumanBytes(g.footprint_bytes).c_str());
+  if (s.paged) {
+    std::printf(
+        "vertex state: %d page(s), %llu fault(s), %llu prefetch load(s), "
+        "%llu eviction(s), %llu writeback(s)\n",
+        s.pages, static_cast<unsigned long long>(s.page_faults),
+        static_cast<unsigned long long>(s.prefetch_loads),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<unsigned long long>(s.writebacks));
+  }
+}
+
 json::JsonObject StatsJsonHeader(const Args& args, const Graph& graph) {
   json::JsonObject root;
   root.Set("tool", "ariadne_run")
@@ -247,6 +349,15 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
   session_options.engine.checkpoint_dir = args.checkpoint_dir;
   session_options.engine.checkpoint_every = args.checkpoint_every;
   session_options.engine.resume = args.resume;
+  if (args.graph_backend == "paged") {
+    // Out-of-core run: vertex state pages against its slice of the unified
+    // budget, spilling next to the graph's AGP1 file.
+    session_options.engine.paged_vertex_state = true;
+    session_options.engine.vertex_state_budget_bytes =
+        args.split.vertex_state;
+    session_options.engine.vertex_state_dir =
+        std::filesystem::path(args.graph_spill).parent_path().string();
+  }
   // The fingerprint ties a checkpoint to this exact run configuration;
   // the engine appends graph dimensions itself.
   session_options.engine.checkpoint_fingerprint =
@@ -272,8 +383,9 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
     if (!args.spill_dir.empty()) {
       storage::LayerStoreOptions options;
       options.dir = args.spill_dir;
-      options.mem_budget_bytes =
-          static_cast<size_t>(args.mem_budget_mb * 1024 * 1024);
+      // Provenance gets its slice of the unified budget (all of it when
+      // the graph backend is in-memory).
+      options.mem_budget_bytes = args.split.provenance;
       options.flush_threads = args.flush_threads;
       Status configured = store.ConfigureStorage(std::move(options));
       if (!configured.ok()) {
@@ -301,6 +413,7 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
                 static_cast<long long>(store.TotalTuples()), stats->seconds,
                 stats->supersteps);
     PrintRecoveryStats(*stats);
+    PrintMemoryStats(args, *stats);
     if (!args.spill_dir.empty()) {
       const storage::StorageStats st = store.storage_stats();
       std::printf(
@@ -335,6 +448,7 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
     if (!args.stats_json.empty()) {
       json::JsonObject root = StatsJsonHeader(args, graph);
       root.SetRaw("engine", EngineStatsJson(*stats));
+      AddMemoryStats(root, args, *stats);
       json::JsonObject store_json;
       store_json.Set("layers", store.num_layers())
           .Set("bytes", static_cast<uint64_t>(store.TotalBytes()))
@@ -373,6 +487,7 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
               static_cast<long long>(run->engine_stats.total_messages),
               run->engine_stats.seconds);
   PrintRecoveryStats(run->engine_stats);
+  PrintMemoryStats(args, run->engine_stats);
   if (!args.values_out.empty()) {
     Status dumped = DumpValues(args.values_out, final_values);
     if (!dumped.ok()) {
@@ -393,6 +508,7 @@ int RunWith(const Args& args, const Graph& graph, P& program) {
   if (!args.stats_json.empty()) {
     json::JsonObject root = StatsJsonHeader(args, graph);
     root.SetRaw("engine", EngineStatsJson(run->engine_stats));
+    AddMemoryStats(root, args, run->engine_stats);
     root.SetRaw("eval", EvalStatsJson(run->eval_stats));
     root.Set("transient_bytes", static_cast<uint64_t>(run->transient_bytes));
     std::vector<std::string> tables;
@@ -467,6 +583,14 @@ int main(int argc, char** argv) {
       args.mem_budget_mb = std::atof(v);
     } else if (flag == "--flush-threads" && (v = next())) {
       args.flush_threads = std::atoi(v);
+    } else if (flag == "--graph-backend" && (v = next())) {
+      args.graph_backend = v;
+    } else if (flag == "--graph-budget-fraction" && (v = next())) {
+      args.graph_budget_fraction = std::atof(v);
+    } else if (flag == "--graph-spill" && (v = next())) {
+      args.graph_spill = v;
+    } else if (flag == "--graph-partition-span" && (v = next())) {
+      args.graph_partition_span = std::atoll(v);
     } else if (flag == "--checkpoint-dir" && (v = next())) {
       args.checkpoint_dir = v;
     } else if (flag == "--checkpoint-every" && (v = next())) {
@@ -497,8 +621,78 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (args.graph_backend != "memory" && args.graph_backend != "paged") {
+    std::fprintf(stderr, "graph-backend: unknown backend '%s'\n",
+                 args.graph_backend.c_str());
+    return Usage();
+  }
+  // --mem-budget-mb is the TOTAL budget across provenance, paged graph
+  // topology, and paged vertex state; the split is documented in
+  // storage/memory_budget.h and DESIGN.md §2.7.
+  args.split = storage::ResolveBudgetSplit(
+      static_cast<size_t>(args.mem_budget_mb * 1024 * 1024),
+      /*graph_paged=*/args.graph_backend == "paged",
+      args.graph_budget_fraction);
+
+  std::unique_ptr<PagedBackend> paged;
+  const bool user_pinned_spill = !args.graph_spill.empty();
   Result<Graph> graph = Status::Internal("no graph");
-  if (!args.graph_path.empty()) {
+  if (args.graph_backend == "paged") {
+    if (args.graph_spill.empty()) {
+      const std::filesystem::path dir =
+          args.spill_dir.empty() ? std::filesystem::temp_directory_path()
+                                 : std::filesystem::path(args.spill_dir);
+      args.graph_spill =
+          (dir / ("ariadne_graph." + std::to_string(::getpid()) + ".agp"))
+              .string();
+    }
+    Status built = Status::OK();
+    if (!args.graph_path.empty()) {
+      // Stream the edge list straight into the AGP1 spill file — the full
+      // graph is never materialized in memory.
+      built = PagedBackend::BuildFromEdgeList(args.graph_path,
+                                              args.graph_spill,
+                                              args.graph_partition_span);
+    } else {
+      Result<Graph> generated = GenerateRmat({.scale = args.rmat_scale,
+                                              .avg_degree = args.avg_degree,
+                                              .seed = args.seed,
+                                              .max_weight = 2.5});
+      if (!generated.ok()) {
+        std::fprintf(stderr, "graph: %s\n",
+                     generated.status().ToString().c_str());
+        return 1;
+      }
+      built = PagedBackend::CreateFrom(*generated, args.graph_spill,
+                                       args.graph_partition_span);
+      // The generated in-memory copy is dropped here; the run pages
+      // topology back in from the spill file under the budget.
+    }
+    if (built.ok()) {
+      PagedBackendOptions options;
+      options.budget_bytes = args.split.graph_topology;
+      auto opened = PagedBackend::Open(args.graph_spill, options);
+      if (!opened.ok()) {
+        built = opened.status();
+      } else {
+        paged = std::move(*opened);
+      }
+    }
+    if (!built.ok()) {
+      std::fprintf(stderr, "graph-backend: %s\n", built.ToString().c_str());
+      return 1;
+    }
+    if (args.mem_budget_mb > 0 &&
+        args.split.graph_topology < paged->max_partition_bytes()) {
+      std::fprintf(stderr,
+                   "warning: graph topology budget %s is below the largest "
+                   "partition's working set %s; every fault reloads a "
+                   "partition (raise --mem-budget-mb or "
+                   "--graph-budget-fraction)\n",
+                   HumanBytes(args.split.graph_topology).c_str(),
+                   HumanBytes(paged->max_partition_bytes()).c_str());
+    }
+  } else if (!args.graph_path.empty()) {
     graph = LoadEdgeList(args.graph_path);
   } else {
     graph = GenerateRmat({.scale = args.rmat_scale,
@@ -506,31 +700,40 @@ int main(int argc, char** argv) {
                           .seed = args.seed,
                           .max_weight = 2.5});
   }
-  if (!graph.ok()) {
+  if (paged == nullptr && !graph.ok()) {
     std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
     return 1;
   }
-  std::printf("graph: %lld vertices, %lld edges\n",
-              static_cast<long long>(graph->num_vertices()),
-              static_cast<long long>(graph->num_edges()));
+  const Graph& g = paged != nullptr ? *paged : *graph;
+  std::printf("graph: %lld vertices, %lld edges (%s backend)\n",
+              static_cast<long long>(g.num_vertices()),
+              static_cast<long long>(g.num_edges()), g.backend_name());
   const VertexId source =
-      args.source >= 0 ? args.source : HighestDegreeVertex(*graph);
+      args.source >= 0 ? args.source : HighestDegreeVertex(g);
 
+  int rc = 2;
+  bool matched = true;
   if (args.analytic == "pagerank") {
     PageRankProgram program({.iterations = args.iterations});
-    return RunWith(args, *graph, program);
-  }
-  if (args.analytic == "sssp") {
+    rc = RunWith(args, g, program);
+  } else if (args.analytic == "sssp") {
     SsspProgram program(source);
-    return RunWith(args, *graph, program);
-  }
-  if (args.analytic == "wcc") {
+    rc = RunWith(args, g, program);
+  } else if (args.analytic == "wcc") {
     WccProgram program;
-    return RunWith(args, *graph, program);
-  }
-  if (args.analytic == "bfs") {
+    rc = RunWith(args, g, program);
+  } else if (args.analytic == "bfs") {
     BfsProgram program(source);
-    return RunWith(args, *graph, program);
+    rc = RunWith(args, g, program);
+  } else {
+    matched = false;
   }
-  return Usage();
+  if (!matched) rc = Usage();
+  if (paged != nullptr) {
+    // The spill file is scratch: remove it unless the user pinned a path.
+    std::string path = paged->path();
+    paged.reset();
+    if (!user_pinned_spill) std::filesystem::remove(path);
+  }
+  return rc;
 }

@@ -22,16 +22,24 @@
 //   <name>: ERROR <status>
 // Exit code 0 iff every query succeeded.
 
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
+#include "common/mem.h"
 #include "common/serialize.h"
+#include "common/string_util.h"
 #include "core/ariadne.h"
+#include "graph/paged_backend.h"
 #include "serve/server.h"
+#include "storage/memory_budget.h"
 
 using namespace ariadne;
 
@@ -45,6 +53,11 @@ struct Args {
   uint64_t seed = 42;
   serve::ServerOptions server;
   std::string stats_json;
+  std::string graph_backend = "memory";  ///< memory|paged
+  /// TOTAL unified budget; the paged topology gets its slice via
+  /// storage::ResolveBudgetSplit (same contract as ariadne_run).
+  double mem_budget_mb = 0;
+  double graph_budget_fraction = storage::kDefaultGraphBudgetFraction;
 };
 
 int Usage() {
@@ -54,6 +67,8 @@ int Usage() {
                "--seed S]\n"
                "  [--max-inflight N] [--queue-cap N] [--deadline-ms D]\n"
                "  [--step-threads N] [--stats-json <file>]\n"
+               "  [--graph-backend memory|paged] [--mem-budget-mb M] "
+               "[--graph-budget-fraction F]\n"
                "reads 'query <name> <file.pql> [param=value ...]' lines "
                "from stdin\n");
   return 2;
@@ -157,14 +172,65 @@ int main(int argc, char** argv) {
       args.server.step_threads = static_cast<size_t>(std::atoll(v));
     } else if (flag == "--stats-json" && (v = next())) {
       args.stats_json = v;
+    } else if (flag == "--graph-backend" && (v = next())) {
+      args.graph_backend = v;
+    } else if (flag == "--mem-budget-mb" && (v = next())) {
+      args.mem_budget_mb = std::atof(v);
+    } else if (flag == "--graph-budget-fraction" && (v = next())) {
+      args.graph_budget_fraction = std::atof(v);
     } else {
       return Usage();
     }
   }
   if (args.store_path.empty()) return Usage();
 
+  if (args.graph_backend != "memory" && args.graph_backend != "paged") {
+    std::fprintf(stderr, "graph-backend: unknown backend '%s'\n",
+                 args.graph_backend.c_str());
+    return Usage();
+  }
+  const storage::BudgetSplit split = storage::ResolveBudgetSplit(
+      static_cast<size_t>(args.mem_budget_mb * 1024 * 1024),
+      /*graph_paged=*/args.graph_backend == "paged",
+      args.graph_budget_fraction);
+
+  std::unique_ptr<PagedBackend> paged;
+  std::string paged_spill;
   Result<Graph> graph = Status::Internal("no graph");
-  if (!args.graph_path.empty()) {
+  if (args.graph_backend == "paged") {
+    paged_spill = (std::filesystem::temp_directory_path() /
+                   ("ariadne_serve." + std::to_string(::getpid()) + ".agp"))
+                      .string();
+    Status built = Status::OK();
+    if (!args.graph_path.empty()) {
+      built = PagedBackend::BuildFromEdgeList(args.graph_path, paged_spill);
+    } else {
+      Result<Graph> generated = GenerateRmat({.scale = args.rmat_scale,
+                                              .avg_degree = args.avg_degree,
+                                              .seed = args.seed,
+                                              .max_weight = 2.5});
+      if (!generated.ok()) {
+        std::fprintf(stderr, "graph: %s\n",
+                     generated.status().ToString().c_str());
+        return 1;
+      }
+      built = PagedBackend::CreateFrom(*generated, paged_spill);
+    }
+    if (built.ok()) {
+      PagedBackendOptions options;
+      options.budget_bytes = split.graph_topology;
+      auto opened = PagedBackend::Open(paged_spill, options);
+      if (!opened.ok()) {
+        built = opened.status();
+      } else {
+        paged = std::move(*opened);
+      }
+    }
+    if (!built.ok()) {
+      std::fprintf(stderr, "graph-backend: %s\n", built.ToString().c_str());
+      return 1;
+    }
+  } else if (!args.graph_path.empty()) {
     graph = LoadEdgeList(args.graph_path);
   } else {
     graph = GenerateRmat({.scale = args.rmat_scale,
@@ -172,25 +238,27 @@ int main(int argc, char** argv) {
                           .seed = args.seed,
                           .max_weight = 2.5});
   }
-  if (!graph.ok()) {
+  if (paged == nullptr && !graph.ok()) {
     std::fprintf(stderr, "graph: %s\n", graph.status().ToString().c_str());
     return 1;
   }
+  const Graph& g = paged != nullptr ? *paged : *graph;
   auto store = ProvenanceStore::LoadFromFile(args.store_path);
   if (!store.ok()) {
     std::fprintf(stderr, "store: %s\n", store.status().ToString().c_str());
     return 1;
   }
-  auto state = serve::ServiceState::Create(&*graph, &*store);
+  auto state = serve::ServiceState::Create(&g, &*store);
   if (!state.ok()) {
     std::fprintf(stderr, "serve: %s\n", state.status().ToString().c_str());
     return 1;
   }
   std::printf("serving %s: %d layers, %lld tuples over %lld vertices "
-              "(max-inflight %zu, queue %zu, %zu step thread(s))\n",
+              "(%s backend, max-inflight %zu, queue %zu, "
+              "%zu step thread(s))\n",
               args.store_path.c_str(), store->num_layers(),
               static_cast<long long>(store->TotalTuples()),
-              static_cast<long long>(graph->num_vertices()),
+              static_cast<long long>(g.num_vertices()), g.backend_name(),
               args.server.max_inflight, args.server.queue_capacity,
               args.server.step_threads);
   std::fflush(stdout);
@@ -277,6 +345,16 @@ int main(int argc, char** argv) {
   }
   const serve::ServerStats stats = server.stats();
   std::printf("%s\n", ServerStatsLine(stats).c_str());
+  if (paged != nullptr) {
+    const GraphBackendStats gb = paged->backend_stats();
+    std::printf("graph backend: %d partition(s), %llu fault(s), "
+                "%llu prefetch load(s), %llu eviction(s), peak rss %s\n",
+                gb.partitions,
+                static_cast<unsigned long long>(gb.partition_faults),
+                static_cast<unsigned long long>(gb.prefetch_loads),
+                static_cast<unsigned long long>(gb.evictions),
+                HumanBytes(PeakRssBytes()).c_str());
+  }
   if (!args.stats_json.empty()) {
     Status written =
         WriteFile(args.stats_json, ServerStatsJson(stats) + "\n");
@@ -285,5 +363,11 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return failures == 0 ? 0 : 1;
+  const int rc = failures == 0 ? 0 : 1;
+  if (paged != nullptr) {
+    // The AGP1 spill is scratch; drop it with the backend.
+    paged.reset();
+    std::filesystem::remove(paged_spill);
+  }
+  return rc;
 }
