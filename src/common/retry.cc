@@ -1,0 +1,27 @@
+#include "common/retry.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace ariadne {
+
+uint64_t RetryThreadSalt() {
+  static std::atomic<uint64_t> next{1};
+  thread_local const uint64_t salt = [] {
+    // One splitmix64 step spreads the small dense counter over 64 bits.
+    Rng mix(next.fetch_add(1, std::memory_order_relaxed));
+    return mix.Next();
+  }();
+  return salt;
+}
+
+void BackoffSleep(int attempt, double base_ms, Rng& jitter) {
+  const double delay_ms = base_ms *
+                          static_cast<double>(1u << (attempt - 1)) *
+                          (1.0 + jitter.NextDouble());
+  std::this_thread::sleep_for(
+      std::chrono::duration<double, std::milli>(delay_ms));
+}
+
+}  // namespace ariadne

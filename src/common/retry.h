@@ -1,0 +1,93 @@
+#ifndef ARIADNE_COMMON_RETRY_H_
+#define ARIADNE_COMMON_RETRY_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ariadne {
+
+/// Shared transient-I/O retry policy (DESIGN.md §2.8), extracted from the
+/// LayerStore flush/read ladder and applied to every paged read path
+/// (storage pages, graph partitions, vertex-state pages, checkpoint
+/// loads, serve scans). An op gets `max_attempts` tries; attempts beyond
+/// the first back off exponentially from `backoff_base_ms` with up to
+/// 100% seeded jitter.
+struct RetryPolicy {
+  /// Attempts before the op counts as failed; <= 1 disables retry.
+  int max_attempts = 3;
+  /// Backoff before the 2nd attempt, in ms; doubles per attempt.
+  double backoff_base_ms = 1.0;
+  /// Jitter seed. Per call site it is mixed with a caller salt AND a
+  /// per-thread salt (RetryThreadSalt), so concurrent retriers never
+  /// back off in lockstep even when they share a policy.
+  uint64_t seed = 0x41524941;  // "ARIA"
+
+  static RetryPolicy Disabled() {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+/// Retryable-status classification: transient errors are I/O hiccups
+/// (EIO, short read, injected faults) that a retry or an fd reopen can
+/// heal. Corruption (ParseError) and logic errors are permanent — the
+/// bytes will not improve on a second read.
+inline bool IsTransientError(const Status& status) {
+  return status.code() == StatusCode::kIOError;
+}
+
+/// Process-unique salt of the calling thread (lazily assigned, stable for
+/// the thread's lifetime). Mixed into every retry jitter stream so
+/// threads retrying the same object fan out instead of thundering in
+/// lockstep.
+uint64_t RetryThreadSalt();
+
+/// Jitter-stream seed for one retrying call site: policy seed x caller
+/// salt (layer/page/partition id) x per-thread salt.
+inline uint64_t MixRetrySeed(uint64_t seed, uint64_t salt) {
+  return seed ^ (0x9e3779b97f4a7c15ULL * (salt + 1)) ^
+         (0xbf58476d1ce4e5b9ULL * RetryThreadSalt());
+}
+
+/// Sleeps before retry attempt `attempt` (1-based count of attempts made
+/// so far): exponential backoff from `base_ms`, doubling per attempt,
+/// plus up to 100% jitter drawn from `jitter`.
+void BackoffSleep(int attempt, double base_ms, Rng& jitter);
+
+/// Result of a retried op: the final status plus how many attempts ran.
+struct RetryOutcome {
+  Status status;
+  int attempts = 1;
+  /// Attempts beyond the first — what the per-component retry counters
+  /// accumulate.
+  int retries() const { return attempts - 1; }
+};
+
+/// Runs `op` (returning Status) up to `policy.max_attempts` times,
+/// sleeping between attempts, while the error stays transient
+/// (IsTransientError). Permanent errors return immediately. `salt`
+/// decorrelates this call site's jitter from concurrent ones.
+template <typename Fn>
+RetryOutcome RetryTransient(const RetryPolicy& policy, uint64_t salt,
+                            Fn&& op) {
+  const int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  Rng jitter(MixRetrySeed(policy.seed, salt));
+  RetryOutcome out;
+  for (int attempt = 1;; ++attempt) {
+    out.status = op();
+    out.attempts = attempt;
+    if (out.status.ok() || attempt == max_attempts ||
+        !IsTransientError(out.status)) {
+      return out;
+    }
+    BackoffSleep(attempt, policy.backoff_base_ms, jitter);
+  }
+}
+
+}  // namespace ariadne
+
+#endif  // ARIADNE_COMMON_RETRY_H_

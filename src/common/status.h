@@ -22,6 +22,7 @@ enum class StatusCode : int {
   kAnalysisError = 7,   ///< PQL semantic analysis failure (safety, stratification).
   kUnsupported = 8,     ///< Valid input, but a mode/feature we do not implement.
   kInternal = 9,
+  kUnavailable = 10,    ///< Degraded/overloaded service; retry later.
 };
 
 /// Returns a human-readable name for `code` (e.g. "InvalidArgument").
@@ -71,6 +72,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -85,6 +89,7 @@ class Status {
   bool IsParseError() const { return code() == StatusCode::kParseError; }
   bool IsAnalysisError() const { return code() == StatusCode::kAnalysisError; }
   bool IsUnsupported() const { return code() == StatusCode::kUnsupported; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -99,6 +99,13 @@ struct VertexStateStats {
   uint64_t evictions = 0;
   uint64_t writebacks = 0;  ///< dirty pages written to the spill file
   int32_t pages = 0;
+  /// Resilience counters (DESIGN.md §2.8): page reads / write-backs
+  /// retried after a transient error, spill-fd reopen recoveries, and
+  /// ops abandoned (error went sticky) after retries + reopen.
+  uint64_t read_retries = 0;
+  uint64_t write_retries = 0;
+  uint64_t fd_reopens = 0;
+  uint64_t gave_up = 0;
 };
 
 /// Context handed to the program checkpoint hooks (DESIGN.md §2.4).

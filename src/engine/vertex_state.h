@@ -2,6 +2,7 @@
 #define ARIADNE_ENGINE_VERTEX_STATE_H_
 
 #include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -20,8 +21,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "engine/types.h"
+#include "recovery/fault_injector.h"
 #include "storage/page.h"
 
 namespace ariadne {
@@ -72,6 +75,10 @@ class VertexState {
     budget_bytes_ = budget_bytes;
     return Status::OK();
   }
+
+  /// Transient-I/O retry ladder of the paged read/write-back path
+  /// (DESIGN.md §2.8); call before Reset.
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
 
   bool paged() const { return paged_; }
   size_t size() const { return n_; }
@@ -301,11 +308,24 @@ class VertexState {
     const bool from_disk = pages_[p].on_disk;
     lock.unlock();
     std::unique_ptr<V[]> data;
-    Status load = LoadPage(p, from_disk, &data);
+    int retries = 0;
+    Status load = LoadPage(p, from_disk, &data, &retries);
+    bool reopened = false;
+    if (!load.ok() && IsTransientError(load)) {
+      // Retries exhausted on a transient error: one reopen-and-revalidate
+      // of the spill fd before the error goes sticky (DESIGN.md §2.8).
+      if (ReopenSpill().ok()) {
+        reopened = true;
+        load = LoadPage(p, from_disk, &data, &retries);
+      }
+    }
     lock.lock();
     loading_.erase(p);
+    stats_.read_retries += static_cast<uint64_t>(retries);
+    if (reopened) ++stats_.fd_reopens;
     PageSlot& slot = pages_[p];
     if (!load.ok()) {
+      ++stats_.gave_up;
       if (error_.ok()) error_ = load;
       load_done_.notify_all();
       return scratch_.data();
@@ -321,49 +341,76 @@ class VertexState {
   }
 
   /// Reads page `p` from the spill file (or value-initializes a page that
-  /// was never written). No lock held.
-  Status LoadPage(size_t p, bool from_disk, std::unique_ptr<V[]>* out) {
+  /// was never written), retrying transient errors (fault point
+  /// "vstate-page-read") per retry_. No lock held; `*retries` accumulates
+  /// attempts beyond the first for the caller to fold into stats_.
+  Status LoadPage(size_t p, bool from_disk, std::unique_ptr<V[]>* out,
+                  int* retries) {
     auto data = std::make_unique<V[]>(values_per_page_);
     if (from_disk) {
-      const size_t rec = PageBytes() + 8;
-      std::string raw(rec, '\0');
-      size_t got = 0;
-      while (got < rec) {
-        const ssize_t r =
-            ::pread(fd_, raw.data() + got, rec - got, RecordOffset(p) + got);
-        if (r < 0) {
-          if (errno == EINTR) continue;
-          return Status::IOError("pread failed on vertex-state spill " +
-                                 spill_path_ + ": " + std::strerror(errno));
-        }
-        if (r == 0) {
-          return Status::IOError("vertex-state spill truncated at page " +
-                                 std::to_string(p) + " in " + spill_path_);
-        }
-        got += static_cast<size_t>(r);
-      }
-      uint64_t want;
-      std::memcpy(&want, raw.data() + PageBytes(), 8);
-      if (storage::Checksum64({raw.data(), PageBytes()}) != want) {
-        return Status::ParseError("vertex-state page " + std::to_string(p) +
-                                  " checksum mismatch in " + spill_path_);
-      }
-      std::memcpy(data.get(), raw.data(), PageBytes());
+      const RetryOutcome read = RetryTransient(retry_, p, [&] {
+        Status attempt = recovery::CheckFaultPoint("vstate-page-read");
+        if (attempt.ok()) attempt = ReadRecordOnce(p, data.get());
+        return attempt;
+      });
+      *retries += read.retries();
+      ARIADNE_RETURN_NOT_OK(read.status);
     }
     *out = std::move(data);
     return Status::OK();
   }
 
-  /// Writes page `p` (dirty write-back). Called with mu_ held from the
+  /// One pread+checksum attempt of page `p`'s spill record.
+  Status ReadRecordOnce(size_t p, V* data) {
+    const size_t rec = PageBytes() + 8;
+    std::string raw(rec, '\0');
+    size_t got = 0;
+    while (got < rec) {
+      const ssize_t r =
+          ::pread(fd_, raw.data() + got, rec - got, RecordOffset(p) + got);
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("pread failed on vertex-state spill " +
+                               spill_path_ + ": " + std::strerror(errno));
+      }
+      if (r == 0) {
+        return Status::IOError("vertex-state spill truncated at page " +
+                               std::to_string(p) + " in " + spill_path_);
+      }
+      got += static_cast<size_t>(r);
+    }
+    uint64_t want;
+    std::memcpy(&want, raw.data() + PageBytes(), 8);
+    if (storage::Checksum64({raw.data(), PageBytes()}) != want) {
+      return Status::ParseError("vertex-state page " + std::to_string(p) +
+                                " checksum mismatch in " + spill_path_);
+    }
+    std::memcpy(data, raw.data(), PageBytes());
+    return Status::OK();
+  }
+
+  /// Writes page `p` (dirty write-back), retrying transient errors (fault
+  /// point "vstate-page-write") per retry_. Called with mu_ held from the
   /// eviction path; the page has pins == 0, so nothing mutates it. Doing
-  /// the write under the lock serializes write-back against faults —
-  /// acceptable because eviction happens off the chunk hot path (window
-  /// release) and pages are small.
+  /// the write (and any backoff) under the lock serializes write-back
+  /// against faults — acceptable because eviction happens off the chunk
+  /// hot path (window release) and pages are small.
   Status StorePage(size_t p, const V* data) {
     std::string raw(PageBytes() + 8, '\0');
     std::memcpy(raw.data(), data, PageBytes());
     const uint64_t sum = storage::Checksum64({raw.data(), PageBytes()});
     std::memcpy(raw.data() + PageBytes(), &sum, 8);
+    const RetryOutcome wrote = RetryTransient(retry_, p, [&] {
+      Status attempt = recovery::CheckFaultPoint("vstate-page-write");
+      if (attempt.ok()) attempt = WriteRecordOnce(p, raw);
+      return attempt;
+    });
+    stats_.write_retries += static_cast<uint64_t>(wrote.retries());
+    return wrote.status;
+  }
+
+  /// One pwrite attempt of page `p`'s spill record.
+  Status WriteRecordOnce(size_t p, const std::string& raw) {
     size_t put = 0;
     while (put < raw.size()) {
       const ssize_t w = ::pwrite(fd_, raw.data() + put, raw.size() - put,
@@ -378,6 +425,29 @@ class VertexState {
     return Status::OK();
   }
 
+  /// Last-ditch recovery before an error goes sticky: reopens the spill
+  /// file and retargets fd_ via dup2 (atomic for concurrent preads).
+  /// Validates the new descriptor with fstat — the scratch file has no
+  /// magic; its records are individually checksummed anyway.
+  Status ReopenSpill() {
+    std::lock_guard<std::mutex> lock(reopen_mu_);
+    const int fd = ::open(spill_path_.c_str(), O_RDWR);
+    if (fd < 0) {
+      return Status::IOError("reopen failed for vertex-state spill " +
+                             spill_path_ + ": " + std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0 || ::dup2(fd, fd_) < 0) {
+      const Status failed =
+          Status::IOError("revalidating reopened vertex-state spill " +
+                          spill_path_ + ": " + std::strerror(errno));
+      ::close(fd);
+      return failed;
+    }
+    ::close(fd);
+    return Status::OK();
+  }
+
   /// Evicts cold unpinned pages until under budget (soft: pinned pages
   /// can hold residency above budget). Requires mu_ held.
   void EvictOverBudgetLocked() {
@@ -387,7 +457,12 @@ class VertexState {
       PageSlot& slot = pages_[p];
       if (slot.dirty) {
         Status stored = StorePage(p, slot.data.get());
+        if (!stored.ok() && IsTransientError(stored) && ReopenSpill().ok()) {
+          ++stats_.fd_reopens;
+          stored = StorePage(p, slot.data.get());
+        }
         if (!stored.ok()) {
+          ++stats_.gave_up;
           if (error_.ok()) error_ = stored;
           return;  // keep the page; the barrier check surfaces the error
         }
@@ -473,6 +548,10 @@ class VertexState {
   size_t values_per_page_ = 0;  // power of two; set by Reset
   size_t page_shift_ = 0;
   int fd_ = -1;
+  RetryPolicy retry_;
+  /// Serializes ReopenSpill so concurrently failing pages don't race
+  /// dup2 swaps of fd_.
+  std::mutex reopen_mu_;
   mutable std::mutex mu_;
   mutable std::condition_variable load_done_;
   std::condition_variable prefetch_cv_;

@@ -36,6 +36,12 @@ struct GraphBackendStats {
   uint64_t evictions = 0;
   uint64_t max_partition_bytes = 0;  ///< largest decoded fragment (working set)
   int32_t partitions = 0;
+  /// Resilience counters (DESIGN.md §2.8): partition reads retried after
+  /// a transient error, spill-fd reopen-and-revalidate recoveries, and
+  /// loads abandoned (error went sticky) after retries + reopen.
+  uint64_t read_retries = 0;
+  uint64_t fd_reopens = 0;
+  uint64_t gave_up = 0;
 };
 
 /// Directed graph in CSR (compressed sparse row) form with both out- and

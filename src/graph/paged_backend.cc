@@ -13,6 +13,7 @@
 
 #include "common/serialize.h"
 #include "common/string_util.h"
+#include "recovery/fault_injector.h"
 #include "storage/page.h"
 
 namespace ariadne {
@@ -563,6 +564,30 @@ PagedBackend::~PagedBackend() {
 
 Result<std::shared_ptr<const PagedBackend::Fragment>>
 PagedBackend::LoadFragment(int p, bool verify_checksum) const {
+  std::shared_ptr<const Fragment> frag;
+  const RetryOutcome read = RetryTransient(
+      options_.io_retry, static_cast<uint64_t>(p), [&] {
+        Status attempt = recovery::CheckFaultPoint("graph-partition-read");
+        if (attempt.ok()) {
+          auto once = ReadFragmentOnce(p, verify_checksum);
+          if (once.ok()) {
+            frag = std::move(once).value();
+          } else {
+            attempt = once.status();
+          }
+        }
+        return attempt;
+      });
+  if (read.retries() > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.read_retries += static_cast<uint64_t>(read.retries());
+  }
+  if (!read.status.ok()) return read.status;
+  return frag;
+}
+
+Result<std::shared_ptr<const PagedBackend::Fragment>>
+PagedBackend::ReadFragmentOnce(int p, bool verify_checksum) const {
   const PartitionEntry& e = directory_[static_cast<size_t>(p)];
   if (e.frame_bytes != e.decoded_bytes + storage::kCheckedFrameOverhead) {
     return Status::ParseError("directory frame/payload sizes disagree for "
@@ -603,6 +628,44 @@ PagedBackend::LoadFragment(int p, bool verify_checksum) const {
                                      " of " + path_);
   }
   return std::make_shared<const Fragment>(std::move(frag).value());
+}
+
+Status PagedBackend::ReopenAndRevalidate() const {
+  std::lock_guard<std::mutex> lock(reopen_mu_);
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd < 0) return StatusFromErrno("reopen failed for spill file", path_);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return StatusFromErrno("fstat failed after reopening", path_);
+  }
+  const uint64_t file_size = static_cast<uint64_t>(st.st_size);
+  char footer[16];
+  uint64_t magic = 0;
+  Status valid = file_size < 16
+                     ? Status::ParseError("reopened spill file too small "
+                                          "for its footer: " + path_)
+                     : PreadAll(fd, footer, 16, file_size - 16, path_);
+  if (valid.ok()) {
+    std::memcpy(&magic, footer + 8, 8);
+    if (magic != kFooterMagic) {
+      valid = Status::ParseError("bad footer magic after reopening " + path_);
+    }
+  }
+  if (!valid.ok()) {
+    ::close(fd);
+    return valid;
+  }
+  // dup2 retargets the existing descriptor number atomically, so readers
+  // mid-pread on fd_ keep working (same immutable file either way).
+  if (::dup2(fd, fd_) < 0) {
+    ::close(fd);
+    return StatusFromErrno("dup2 failed while reopening", path_);
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> slock(mu_);
+  ++stats_.fd_reopens;
+  return Status::OK();
 }
 
 void PagedBackend::TouchLocked(int p) const {
@@ -653,10 +716,19 @@ std::shared_ptr<const PagedBackend::Fragment> PagedBackend::GetFragment(
   lock.unlock();
 
   auto loaded = LoadFragment(partition, verify);
+  if (!loaded.ok() && IsTransientError(loaded.status())) {
+    // Retries exhausted on a transient error: one reopen-and-revalidate
+    // of the spill fd (the descriptor itself may be the casualty — NFS
+    // staleness, a pulled mount) before the error goes sticky.
+    if (ReopenAndRevalidate().ok()) {
+      loaded = LoadFragment(partition, verify);
+    }
+  }
 
   lock.lock();
   loading_.erase(partition);
   if (!loaded.ok()) {
+    ++stats_.gave_up;
     if (error_.ok()) error_ = loaded.status();
     lock.unlock();
     load_done_.notify_all();

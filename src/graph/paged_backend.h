@@ -15,6 +15,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "graph/graph.h"
 
@@ -34,6 +35,10 @@ struct PagedBackendOptions {
   /// Checksum-verify every partition frame at Open (pays one full file
   /// scan; corruption otherwise surfaces at first fault).
   bool verify_on_open = false;
+  /// Transient-read retry ladder (DESIGN.md §2.8). A partition read that
+  /// exhausts it gets one reopen-and-revalidate of the spill fd before
+  /// the error goes sticky.
+  RetryPolicy io_retry;
 };
 
 /// Out-of-core graph backend (DESIGN.md §2.7): CSR topology cut into
@@ -192,9 +197,21 @@ class PagedBackend final : public Graph {
   /// frame's checksum is verified only when `verify_checksum` is set: the
   /// spill file is opened read-only and immutable for the backend's
   /// lifetime, so GetFragment verifies each partition's first load and
-  /// skips the digest on reloads after eviction.
+  /// skips the digest on reloads after eviction. Transient read errors
+  /// (fault point "graph-partition-read") are retried per
+  /// options_.io_retry before the failure propagates.
   Result<std::shared_ptr<const Fragment>> LoadFragment(
       int p, bool verify_checksum) const;
+
+  /// One attempt of LoadFragment's read+decode (no retry, no fault hook).
+  Result<std::shared_ptr<const Fragment>> ReadFragmentOnce(
+      int p, bool verify_checksum) const;
+
+  /// Last-ditch recovery before a read error goes sticky: reopens the
+  /// spill file, revalidates its footer magic, and atomically swaps the
+  /// new descriptor onto fd_ (dup2), so concurrent preads never see a
+  /// closed fd. Serialized by reopen_mu_.
+  Status ReopenAndRevalidate() const;
 
   /// Inserts into the cache and evicts LRU fragments over budget.
   /// Requires mu_ held.
@@ -224,6 +241,9 @@ class PagedBackend final : public Graph {
   mutable size_t resident_bytes_ = 0;
   mutable Status error_ = Status::OK();
   mutable GraphBackendStats stats_;
+  /// Serializes reopen-and-revalidate so concurrently failing readers
+  /// don't race dup2 swaps of fd_.
+  mutable std::mutex reopen_mu_;
 
   // Prefetcher state (guarded by prefetch_mu_).
   mutable std::mutex prefetch_mu_;

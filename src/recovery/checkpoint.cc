@@ -6,6 +6,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/retry.h"
 #include "recovery/fault_injector.h"
 #include "storage/page.h"
 
@@ -28,11 +29,28 @@ Status WriteCheckpointFile(const std::string& dir, std::string body) {
   return WriteFile(CheckpointPath(dir), file);
 }
 
+namespace {
+
+/// Retry ladder of the resume read path (fault point "checkpoint-read").
+/// Checkpoint loads happen once per restart, so the defaults are not
+/// worth a knob; transient errors get the standard three attempts.
+Result<std::string> ReadFileWithRetry(const std::string& path) {
+  Result<std::string> data = std::string();
+  RetryTransient(RetryPolicy{}, storage::Fnv1a(path), [&] {
+    Status attempt = CheckFaultPoint("checkpoint-read");
+    data = attempt.ok() ? ReadFile(path) : Result<std::string>(attempt);
+    return data.ok() ? Status::OK() : data.status();
+  });
+  return data;
+}
+
+}  // namespace
+
 Result<BinaryReader> OpenCheckpointFile(const std::string& dir) {
   const std::string path = CheckpointPath(dir);
   std::string data;
   {
-    auto read = ReadFile(path);
+    auto read = ReadFileWithRetry(path);
     if (!read.ok()) {
       // Surface "no checkpoint yet" as NotFound so resume can fall back
       // to a fresh start; any other I/O problem propagates as-is.
@@ -141,7 +159,7 @@ Result<std::vector<std::string>> ReadSegmentsFile(const std::string& path,
                                                   uint64_t valid_bytes) {
   std::vector<std::string> segments;
   if (valid_bytes == 0) return segments;
-  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFile(path));
+  ARIADNE_ASSIGN_OR_RETURN(std::string data, ReadFileWithRetry(path));
   if (data.size() < valid_bytes) {
     return Status::ParseError(
         "checkpoint references " + std::to_string(valid_bytes) +

@@ -1,9 +1,11 @@
 #include "recovery/fault_injector.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <stdexcept>
 
 #include "common/logging.h"
+#include "common/random.h"
 #include "common/string_util.h"
 
 namespace ariadne::recovery {
@@ -15,9 +17,79 @@ FaultInjector& FaultInjector::Global() {
 
 namespace {
 
+Status ParseKind(const std::string& text, const std::string& rule_text,
+                 FaultKind* kind) {
+  if (text == "error") {
+    *kind = FaultKind::kError;
+  } else if (text == "crash") {
+    *kind = FaultKind::kCrash;
+  } else if (text == "throw") {
+    *kind = FaultKind::kThrow;
+  } else {
+    return Status::InvalidArgument("unknown fault kind '" + text +
+                                   "' in rule '" + rule_text +
+                                   "' (want error, crash or throw)");
+  }
+  return Status::OK();
+}
+
+/// `point@rate[:k][:kind]`: `parts` is the ':'-split with parts[0] ==
+/// "point@rate" already cut at `at`.
+Result<FaultRule> ParseProbabilisticRule(const std::string& text,
+                                         const std::vector<std::string>& parts,
+                                         size_t at) {
+  FaultRule rule;
+  rule.probabilistic = true;
+  rule.point = parts[0].substr(0, at);
+  const std::string rate = parts[0].substr(at + 1);
+  try {
+    size_t pos = 0;
+    rule.rate = std::stod(rate, &pos);
+    if (pos != rate.size() || rule.rate <= 0.0 || rule.rate > 1.0) {
+      throw std::invalid_argument(rate);
+    }
+  } catch (...) {
+    return Status::InvalidArgument("bad rate in fault rule '" + text +
+                                   "' (want a probability in (0, 1])");
+  }
+  size_t next = 1;
+  if (parts.size() > next && !parts[next].empty() &&
+      std::isdigit(static_cast<unsigned char>(parts[next][0]))) {
+    try {
+      size_t pos = 0;
+      const long long k = std::stoll(parts[next], &pos);
+      if (pos != parts[next].size() || k <= 0) {
+        throw std::invalid_argument(parts[next]);
+      }
+      rule.burst = static_cast<uint64_t>(k);
+    } catch (...) {
+      return Status::InvalidArgument("bad burst length in fault rule '" +
+                                     text + "' (want a positive integer)");
+    }
+    ++next;
+  }
+  if (parts.size() > next) {
+    if (parts.size() > next + 1) {
+      return Status::InvalidArgument("bad fault rule '" + text +
+                                     "' (expected point@rate[:k][:kind])");
+    }
+    ARIADNE_RETURN_NOT_OK(ParseKind(parts[next], text, &rule.kind));
+  }
+  return rule;
+}
+
 Result<FaultRule> ParseRule(const std::string& text) {
   const std::vector<std::string> parts = Split(text, ':');
-  if (parts.size() < 2 || parts.size() > 3 || parts[0].empty()) {
+  if (parts.empty() || parts[0].empty()) {
+    return Status::InvalidArgument(
+        "bad fault rule '" + text +
+        "' (expected point:N[+][:error|crash|throw] or point@rate[:k])");
+  }
+  const size_t at = parts[0].find('@');
+  if (at != std::string::npos && at > 0) {
+    return ParseProbabilisticRule(text, parts, at);
+  }
+  if (parts.size() < 2 || parts.size() > 3) {
     return Status::InvalidArgument(
         "bad fault rule '" + text +
         "' (expected point:N[+][:error|crash|throw])");
@@ -39,17 +111,7 @@ Result<FaultRule> ParseRule(const std::string& text) {
                                    text + "' (want a positive integer)");
   }
   if (parts.size() == 3) {
-    if (parts[2] == "error") {
-      rule.kind = FaultKind::kError;
-    } else if (parts[2] == "crash") {
-      rule.kind = FaultKind::kCrash;
-    } else if (parts[2] == "throw") {
-      rule.kind = FaultKind::kThrow;
-    } else {
-      return Status::InvalidArgument("unknown fault kind '" + parts[2] +
-                                     "' in rule '" + text +
-                                     "' (want error, crash or throw)");
-    }
+    ARIADNE_RETURN_NOT_OK(ParseKind(parts[2], text, &rule.kind));
   }
   return rule;
 }
@@ -68,6 +130,14 @@ Status FaultInjector::Arm(const std::string& scenario, uint64_t seed) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   rules_ = std::move(rules);
+  rule_state_.clear();
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    RuleState state;
+    // One independent splitmix64 stream per rule, derived from the
+    // scenario seed, so rules don't perturb each other's draws.
+    state.rng_state = seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+    rule_state_.push_back(state);
+  }
   counts_.clear();
   fired_ = 0;
   seed_ = seed;
@@ -79,6 +149,7 @@ void FaultInjector::Disarm() {
   std::lock_guard<std::mutex> lock(mu_);
   armed_.store(false, std::memory_order_relaxed);
   rules_.clear();
+  rule_state_.clear();
   counts_.clear();
   fired_ = 0;
 }
@@ -92,10 +163,29 @@ Status FaultInjector::Hit(const char* point) {
     std::lock_guard<std::mutex> lock(mu_);
     if (!armed_.load(std::memory_order_relaxed)) return Status::OK();
     hit = ++counts_[point];
-    for (const FaultRule& rule : rules_) {
+    for (size_t i = 0; i < rules_.size(); ++i) {
+      const FaultRule& rule = rules_[i];
       if (rule.point != point) continue;
-      if (hit == rule.occurrence || (rule.persistent && hit > rule.occurrence)) {
+      if (rule.probabilistic) {
+        RuleState& state = rule_state_[i];
+        if (state.burst_left > 0) {
+          // Mid-burst: keep failing until the burst is spent, then heal.
+          --state.burst_left;
+          fire = true;
+        } else {
+          Rng rng(state.rng_state);
+          const bool triggered = rng.NextBool(rule.rate);
+          state.rng_state += 0x9e3779b97f4a7c15ULL;  // one splitmix64 step
+          if (triggered) {
+            state.burst_left = rule.burst - 1;
+            fire = true;
+          }
+        }
+      } else if (hit == rule.occurrence ||
+                 (rule.persistent && hit > rule.occurrence)) {
         fire = true;
+      }
+      if (fire) {
         kind = rule.kind;
         break;
       }

@@ -21,13 +21,19 @@ enum class FaultKind {
            ///< stand-in; only meaningful at points that document it)
 };
 
-/// One armed rule of a fault scenario: "the `occurrence`-th hit of
-/// `point` fires `kind`" (plus every later hit when `persistent`).
+/// One armed rule of a fault scenario. Deterministic rules fire on the
+/// `occurrence`-th hit of `point` (plus every later hit when
+/// `persistent`). Probabilistic rules fire each hit with probability
+/// `rate` (drawn from the scenario seed), then fail `burst` consecutive
+/// hits before healing — the transient-flake model the chaos soak drives.
 struct FaultRule {
   std::string point;
   uint64_t occurrence = 1;   ///< 1-based hit index that triggers
   bool persistent = false;   ///< also fire on every hit after `occurrence`
   FaultKind kind = FaultKind::kError;
+  bool probabilistic = false;  ///< `point@rate[:k]` form
+  double rate = 0.0;           ///< per-hit trigger probability
+  uint64_t burst = 1;          ///< consecutive hits failed once triggered
 };
 
 /// Deterministic, scenario-scriptable fault injection (DESIGN.md §2.4).
@@ -41,13 +47,21 @@ struct FaultRule {
 ///
 /// Scenario DSL (`ariadne_run --inject`, comma-separated rules):
 ///
-///   rule  := point ':' N ['+'] [':' kind]
+///   rule  := point ':' N ['+'] [':' kind]        deterministic
+///          | point '@' rate [':' k] [':' kind]   probabilistic
 ///   kind  := 'error' (default) | 'crash' | 'throw'
 ///
 ///   flusher-write:3          fail the 3rd spill-file write once (EIO)
 ///   page-read:1+             every page read fails from the 1st on
 ///   superstep:5:crash        _Exit at the start of superstep 4 (0-based)
 ///   shard-drop:2             drop one merge shard's outbox, 2nd superstep
+///   page-read@0.01           each page read flakes with p=1% (heals next hit)
+///   vstate-page-read@0.05:2  p=5% per hit; once triggered, fail 2 hits in a
+///                            row then heal (a transient brownout burst)
+///
+/// Probabilistic draws come from `Arm`'s seed (one independent stream per
+/// rule), so a scenario replays identically for a fixed seed and per-point
+/// hit order.
 ///
 /// The injector is process-global (a crashed process cannot be scoped) and
 /// disarmed by default; every hook first checks a relaxed atomic, so the
@@ -60,7 +74,8 @@ class FaultInjector {
   static FaultInjector& Global();
 
   /// Parses and arms `scenario` (see DSL above), resetting all counters.
-  /// `seed` reserved for probabilistic rules; recorded for reproducibility.
+  /// `seed` drives probabilistic rules (and is recorded for
+  /// reproducibility either way).
   Status Arm(const std::string& scenario, uint64_t seed = 0);
 
   /// Disarms and clears all rules and counters.
@@ -83,9 +98,18 @@ class FaultInjector {
  private:
   FaultInjector() = default;
 
+  /// Runtime state of one probabilistic rule: its private RNG stream
+  /// (state advances only on hits of its point) and the remainder of a
+  /// triggered burst.
+  struct RuleState {
+    uint64_t rng_state = 0;
+    uint64_t burst_left = 0;
+  };
+
   std::atomic<bool> armed_{false};
   mutable std::mutex mu_;
   std::vector<FaultRule> rules_;
+  std::vector<RuleState> rule_state_;  ///< parallel to rules_
   std::unordered_map<std::string, uint64_t> counts_;
   uint64_t fired_ = 0;
   uint64_t seed_ = 0;

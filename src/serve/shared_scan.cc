@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "recovery/fault_injector.h"
+
 namespace ariadne::serve {
 
 std::vector<int> UnionNeededRels(const std::vector<int>& a,
@@ -46,6 +48,9 @@ Result<std::shared_ptr<const LayerView>> SharedScanExecutor::Acquire(
   // One store pass: page read + decompress + per-vertex/route indexing.
   // Done outside the lock — the store's read path is concurrency-safe and
   // a slow cold scan must not block unrelated Acquires.
+  // Fault point sits here, after the cache check: injected failures hit
+  // only cold scans, exactly like a real store read error would.
+  ARIADNE_RETURN_NOT_OK(recovery::CheckFaultPoint("serve-scan"));
   ARIADNE_ASSIGN_OR_RETURN(std::shared_ptr<const Layer> layer,
                            store_->GetLayerRelations(step, build_rels));
   std::shared_ptr<const LayerView> view = BuildLayerView(

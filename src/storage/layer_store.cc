@@ -1,13 +1,15 @@
 #include "storage/layer_store.h"
 
+#include <algorithm>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <thread>
 #include <unordered_set>
 #include <utility>
 
-#include "common/random.h"
+#include "common/retry.h"
 #include "recovery/fault_injector.h"
 
 namespace ariadne::storage {
@@ -42,17 +44,6 @@ int64_t CountTuples(const Layer& layer) {
     n += static_cast<int64_t>(slice.tuples.size());
   }
   return n;
-}
-
-/// Sleep before retry attempt `attempt` (1-based count of attempts made
-/// so far): exponential backoff from `base_ms`, doubling per attempt,
-/// plus up to 100% seeded jitter so synchronized retries fan out.
-void BackoffSleep(int attempt, double base_ms, Rng& jitter) {
-  const double delay_ms =
-      base_ms * static_cast<double>(1u << (attempt - 1)) *
-      (1.0 + jitter.NextDouble());
-  std::this_thread::sleep_for(
-      std::chrono::duration<double, std::milli>(delay_ms));
 }
 
 }  // namespace
@@ -161,23 +152,24 @@ void LayerStore::FlushEntry(Entry* entry) {
   SerializeLayer(*layer, raw);
   const std::string path =
       options_.dir + "/layer_" + std::to_string(layer->step) + ".apg";
-  // Bounded retry with exponential backoff + jitter: transient I/O errors
-  // (fault point "flusher-write", or a real failed write) are retried
-  // io_max_attempts times before the flush counts as exhausted.
+  // Bounded retry with exponential backoff + jitter (common/retry.h):
+  // transient I/O errors (fault point "flusher-write", or a real failed
+  // write) are retried io_max_attempts times before the flush counts as
+  // exhausted. The jitter mixes a per-thread salt, so concurrent flusher
+  // threads retrying the same sick disk fan out instead of thundering.
   const int max_attempts = std::max(1, options_.io_max_attempts);
-  Rng jitter(options_.io_retry_seed ^
-             (0x9e3779b97f4a7c15ULL *
-              static_cast<uint64_t>(layer->step + 1)));
-  Status st;
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    st = recovery::CheckFaultPoint("flusher-write");
-    if (st.ok()) st = WriteFile(path, buf);
-    if (st.ok() || attempt == max_attempts) break;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.flush_retries;
-    }
-    BackoffSleep(attempt, options_.io_backoff_base_ms, jitter);
+  const RetryOutcome flushed = RetryTransient(
+      options_.IoRetryPolicy(), static_cast<uint64_t>(layer->step), [&] {
+        Status attempt = recovery::CheckFaultPoint("flusher-write");
+        if (attempt.ok()) attempt = WriteFile(path, buf);
+        return attempt;
+      });
+  Status st = flushed.status;
+  if (flushed.retries() > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.flush_retries += static_cast<uint64_t>(flushed.retries());
+    flush_retries_by_thread_[std::this_thread::get_id()] +=
+        static_cast<uint64_t>(flushed.retries());
   }
   const double seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -271,21 +263,19 @@ Result<std::shared_ptr<const Page>> LayerStore::FetchPage(
   }
   const Entry::PageRef& ref = entry.pages[index];
   // Same bounded-retry policy as the flush path (fault point "page-read").
-  const int max_attempts = std::max(1, options_.io_max_attempts);
-  Rng jitter(options_.io_retry_seed ^
-             (0xbf58476d1ce4e5b9ULL * (static_cast<uint64_t>(entry.step) +
-                                       static_cast<uint64_t>(index) + 1)));
   Result<std::string> region = std::string();
-  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
-    Status injected = recovery::CheckFaultPoint("page-read");
-    region = injected.ok() ? ReadRegion(entry.file, ref.offset, ref.bytes)
-                           : Result<std::string>(injected);
-    if (region.ok() || attempt == max_attempts) break;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++stats_.read_retries;
-    }
-    BackoffSleep(attempt, options_.io_backoff_base_ms, jitter);
+  const RetryOutcome read = RetryTransient(
+      options_.IoRetryPolicy(),
+      (static_cast<uint64_t>(entry.step) << 20) + index, [&] {
+        Status injected = recovery::CheckFaultPoint("page-read");
+        region = injected.ok()
+                     ? ReadRegion(entry.file, ref.offset, ref.bytes)
+                     : Result<std::string>(injected);
+        return region.ok() ? Status::OK() : region.status();
+      });
+  if (read.retries() > 0) {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.read_retries += static_cast<uint64_t>(read.retries());
   }
   if (!region.ok()) return region.status();
   size_t offset = 0;
@@ -485,6 +475,12 @@ StorageStats LayerStore::stats() const {
     std::lock_guard<std::mutex> lock(mu_);
     out = stats_;
     out.degraded = degraded_;
+    out.flush_retries_by_thread.reserve(flush_retries_by_thread_.size());
+    for (const auto& [tid, n] : flush_retries_by_thread_) {
+      out.flush_retries_by_thread.push_back(n);
+    }
+    std::sort(out.flush_retries_by_thread.begin(),
+              out.flush_retries_by_thread.end(), std::greater<uint64_t>());
   }
   if (cache_) {
     const PageCacheStats cs = cache_->stats();

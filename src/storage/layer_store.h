@@ -6,8 +6,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
+#include "common/retry.h"
 #include "common/status.h"
 #include "storage/flusher.h"
 #include "storage/layer.h"
@@ -41,8 +44,19 @@ struct LayerStoreOptions {
   /// Backoff before the 2nd attempt, in ms; doubles per attempt, plus a
   /// seeded jitter in [0, 100%) of the delay.
   double io_backoff_base_ms = 1.0;
-  /// Jitter seed (deterministic per layer/page, derived from this).
+  /// Jitter seed. Each retrying call site mixes in a per-layer/page salt
+  /// AND a per-thread salt (common/retry.h), so concurrent flush threads
+  /// never back off in lockstep.
   uint64_t io_retry_seed = 0x41524941;  // "ARIA"
+
+  /// The three knobs above as the shared RetryPolicy (common/retry.h).
+  RetryPolicy IoRetryPolicy() const {
+    RetryPolicy p;
+    p.max_attempts = io_max_attempts;
+    p.backoff_base_ms = io_backoff_base_ms;
+    p.seed = io_retry_seed;
+    return p;
+  }
 };
 
 /// Aggregate counters of the storage subsystem (flusher + page cache +
@@ -66,6 +80,11 @@ struct StorageStats {
   uint64_t read_retries = 0;
   uint64_t layers_quarantined = 0;
   bool degraded = false;
+  /// flush_retries broken down by flusher thread (descending; the sum
+  /// equals flush_retries). Skewed entries betray a thread stuck on a
+  /// bad region; lockstep backoff would show as equal entries retried at
+  /// the same instants (the bug the per-thread jitter salt fixes).
+  std::vector<uint64_t> flush_retries_by_thread;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_evictions = 0;
@@ -83,6 +102,7 @@ struct StorageStats {
   /// store/cache locks), so deltas never race the background flusher.
   StorageStats Delta(const StorageStats& before) const {
     StorageStats d = *this;
+    d.flush_retries_by_thread.clear();  // breakdown is cumulative-only
     d.layers_flushed -= before.layers_flushed;
     d.pages_written -= before.pages_written;
     d.compressed_bytes -= before.compressed_bytes;
@@ -233,6 +253,8 @@ class LayerStore {
   /// mu_ — bookkeeping, not logical state, hence mutable.
   mutable uint64_t use_tick_ = 0;
   mutable StorageStats stats_;  ///< cache_* fields filled from cache_ on read
+  /// Per-flusher-thread retry counts (stats surface; guarded by mu_).
+  std::unordered_map<std::thread::id, uint64_t> flush_retries_by_thread_;
   std::unique_ptr<PageCache> cache_;
   std::unique_ptr<BackgroundFlusher> flusher_;
 };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/ariadne.h"
+#include "graph/paged_backend.h"
 #include "recovery/checkpoint.h"
 #include "recovery/fault_injector.h"
 
@@ -56,7 +57,7 @@ class CrashRecoveryTest : public testing::Test {
     options.engine.checkpoint_dir = checkpoint_every > 0 ? dir_ : "";
     options.engine.resume = resume;
     options.engine.checkpoint_fingerprint = "crash-recovery-test";
-    Session session(&graph_, options);
+    Session session(run_graph_ != nullptr ? run_graph_ : &graph_, options);
     auto query = session.PrepareOnline(queries::CaptureFull());
     ARIADNE_RETURN_NOT_OK(query.status());
     ProvenanceStore store;
@@ -121,6 +122,10 @@ class CrashRecoveryTest : public testing::Test {
 
   Graph graph_;
   std::string dir_;
+  /// When set, RunCapture iterates this backend instead of graph_ (the
+  /// cross-backend kill+resume case points it at a PagedBackend over the
+  /// same topology).
+  const Graph* run_graph_ = nullptr;
 };
 
 TEST_F(CrashRecoveryTest, PageRankKilledAtEverySuperstepSingleThread) {
@@ -174,6 +179,61 @@ TEST_F(CrashRecoveryTest, ResumeAcrossThreadCountsIsByteIdentical) {
     EXPECT_EQ(resumed->values, reference->values);
     EXPECT_EQ(resumed->store_image, reference->store_image);
   }
+}
+
+TEST_F(CrashRecoveryTest, PagedBackendKilledMidRunResumesByteIdentical) {
+  // Cross-backend kill+resume (`ariadne_run --graph-backend paged`): both
+  // the crashed run and the resumed run iterate the out-of-core topology
+  // under a tight budget, and the result must still be byte-identical to
+  // the uninterrupted in-memory run. Each process opens its own backend
+  // (fork must never inherit a live prefetcher thread or held cache lock).
+  PageRankProgram reference_program({.iterations = 9});
+  auto reference = RunCapture(reference_program, 4, 0, false);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  const std::string spill = dir_ + "/crash_graph.agp";
+  ASSERT_TRUE(
+      PagedBackend::CreateFrom(graph_, spill, /*vertices_per_partition=*/16)
+          .ok());
+  auto open_paged = [&]() {
+    PagedBackendOptions options;
+    options.budget_bytes = 1 << 12;  // tight: constant faulting + eviction
+    return PagedBackend::Open(spill, options);
+  };
+
+  std::filesystem::remove(recovery::CheckpointPath(dir_));
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    if (!recovery::FaultInjector::Global().Arm("superstep:6:crash").ok()) {
+      _exit(3);
+    }
+    auto paged = open_paged();
+    if (!paged.ok()) _exit(5);
+    run_graph_ = paged->get();
+    PageRankProgram program({.iterations = 9});
+    auto crashed = RunCapture(program, 4, 1, false);
+    _exit(crashed.ok() ? 7 : 4);
+  }
+  int wstatus = 0;
+  ASSERT_EQ(waitpid(pid, &wstatus, 0), pid);
+  ASSERT_TRUE(WIFEXITED(wstatus));
+  ASSERT_EQ(WEXITSTATUS(wstatus), recovery::FaultInjector::kCrashExitCode);
+
+  auto paged = open_paged();
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  run_graph_ = paged->get();
+  PageRankProgram program({.iterations = 9});
+  auto resumed = RunCapture(program, 4, 1, true);
+  run_graph_ = nullptr;
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(resumed->stats.resumed_from_step, 5);
+  EXPECT_EQ(resumed->values, reference->values)
+      << "paged resume differs from the in-memory uninterrupted run";
+  EXPECT_EQ(resumed->store_image, reference->store_image);
+  EXPECT_GT(resumed->stats.graph_backend.partition_faults, 0u);
+  EXPECT_EQ(resumed->stats.graph_backend.gave_up, 0u);
+  PagedBackend::ReleaseThreadLeases();
 }
 
 TEST_F(CrashRecoveryTest, CrashDuringSaveNeverTearsTheImage) {

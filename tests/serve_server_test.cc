@@ -4,10 +4,15 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/ariadne.h"
+#include "recovery/fault_injector.h"
 #include "serve/server.h"
 #include "serve/shared_scan.h"
 
@@ -167,6 +172,203 @@ TEST_F(ServeServerTest, IdenticalInFlightQueriesCoalesce) {
   EXPECT_EQ(stats.admitted + stats.coalesced, 8u);
   EXPECT_EQ(stats.query_steps,
             stats.admitted * static_cast<uint64_t>(store_.num_layers()));
+}
+
+// ---- Resilience layer (DESIGN.md §2.8) ----
+
+uint64_t ResolvedResponses(const serve::ServerStats& s) {
+  return s.completed + s.failed + s.expired + s.rejected + s.shed;
+}
+
+/// Regression: a Submit racing Shutdown must resolve its promise with
+/// Unavailable, never drop it — waiters on future.get() always wake.
+TEST_F(ServeServerTest, SubmitRacingShutdownNeverDropsAPromise) {
+  for (int round = 0; round < 8; ++round) {
+    auto server =
+        std::make_unique<serve::QueryServer>(state_.get());
+    std::vector<std::future<serve::ServeResponse>> futures;
+    std::mutex futures_mu;
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 4; ++t) {
+      submitters.emplace_back([&, t] {
+        for (int i = 0; i < 8; ++i) {
+          auto future =
+              server->Submit(BackwardRequest("r" + std::to_string(t * 8 + i)));
+          std::lock_guard<std::mutex> lock(futures_mu);
+          futures.push_back(std::move(future));
+        }
+      });
+    }
+    server->Shutdown();  // races the submitters
+    for (auto& thread : submitters) thread.join();
+    for (auto& future : futures) {
+      // get() must return for every future; post-shutdown bounces carry
+      // Unavailable.
+      serve::ServeResponse response = future.get();
+      if (!response.ok()) {
+        EXPECT_TRUE(response.status.IsUnavailable() ||
+                    response.status.code() == StatusCode::kOutOfRange)
+            << response.status.ToString();
+      }
+    }
+    const serve::ServerStats stats = server->stats();
+    EXPECT_EQ(stats.submitted, 32u);
+    EXPECT_EQ(ResolvedResponses(stats), stats.submitted);
+  }
+}
+
+class ServeFaultTest : public ServeServerTest {
+ protected:
+  void SetUp() override {
+    ServeServerTest::SetUp();
+    recovery::FaultInjector::Global().Disarm();
+  }
+  void TearDown() override { recovery::FaultInjector::Global().Disarm(); }
+
+  serve::ServerOptions FastRetryOptions() const {
+    serve::ServerOptions options;
+    options.step_retry_backoff_ms = 0.01;
+    // Long enough that a bounce test cannot accidentally land in the
+    // half-open window on a slow machine.
+    options.breaker_cooldown_ms = 250.0;
+    return options;
+  }
+};
+
+TEST_F(ServeFaultTest, TransientScanErrorIsRetriedInvisibly) {
+  // One injected scan failure: attempt 1 fails, attempt 2 succeeds —
+  // the client sees a normal result.
+  ASSERT_TRUE(recovery::FaultInjector::Global().Arm("serve-scan:1").ok());
+  serve::QueryServer server(state_.get(), FastRetryOptions());
+  serve::ServeResponse response = server.SubmitAndWait(BackwardRequest("q"));
+  ASSERT_TRUE(response.ok()) << response.status.ToString();
+  const serve::ServerStats stats = server.stats();
+  EXPECT_GE(stats.step_retries, 1u);
+  EXPECT_EQ(stats.scan_failures, 0u);
+  EXPECT_EQ(stats.breaker_trips, 0u);
+  EXPECT_EQ(stats.completed, 1u);
+}
+
+TEST_F(ServeFaultTest, PersistentScanFailureTripsBreakerThenRecovers) {
+  ASSERT_TRUE(recovery::FaultInjector::Global().Arm("serve-scan:1+").ok());
+  serve::ServerOptions options = FastRetryOptions();
+  options.breaker_threshold = 1;  // first exhausted scan trips
+  serve::QueryServer server(state_.get(), options);
+
+  serve::ServeResponse failed = server.SubmitAndWait(BackwardRequest("f"));
+  EXPECT_FALSE(failed.ok());
+  {
+    const serve::ServerStats stats = server.stats();
+    EXPECT_GE(stats.scan_failures, 1u);
+    EXPECT_EQ(stats.breaker_trips, 1u);
+    EXPECT_GE(stats.step_retries, 1u);  // the ladder ran before tripping
+  }
+  const serve::HealthSnapshot tripped = server.health();
+  EXPECT_EQ(tripped.breaker, serve::BreakerState::kOpen);
+  EXPECT_GT(tripped.retry_after_ms, 0.0);
+  EXPECT_GE(tripped.breaker_trips, 1u);
+
+  // While open (cooldown 20ms), new queries bounce with Unavailable.
+  serve::ServeResponse bounced = server.SubmitAndWait(BackwardRequest("b"));
+  EXPECT_FALSE(bounced.ok());
+  EXPECT_TRUE(bounced.status.IsUnavailable()) << bounced.status.ToString();
+  EXPECT_NE(bounced.status.message().find("retry after"), std::string::npos);
+  EXPECT_GE(server.stats().shed, 1u);
+
+  // Heal the store and wait out the cooldown: the next query is the
+  // half-open probe; its healthy scan closes the breaker.
+  recovery::FaultInjector::Global().Disarm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  serve::ServeResponse probe = server.SubmitAndWait(BackwardRequest("p"));
+  ASSERT_TRUE(probe.ok()) << probe.status.ToString();
+  EXPECT_EQ(server.health().breaker, serve::BreakerState::kClosed);
+  EXPECT_GE(server.stats().breaker_probes, 1u);
+
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(ResolvedResponses(stats), stats.submitted);
+}
+
+TEST_F(ServeFaultTest, FailedProbeReopensTheBreaker) {
+  ASSERT_TRUE(recovery::FaultInjector::Global().Arm("serve-scan:1+").ok());
+  serve::ServerOptions options = FastRetryOptions();
+  options.breaker_threshold = 1;
+  serve::QueryServer server(state_.get(), options);
+  EXPECT_FALSE(server.SubmitAndWait(BackwardRequest("f")).ok());
+  ASSERT_EQ(server.health().breaker, serve::BreakerState::kOpen);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  // Store still broken: the probe's scan fails and re-opens immediately.
+  EXPECT_FALSE(server.SubmitAndWait(BackwardRequest("p")).ok());
+  const serve::HealthSnapshot health = server.health();
+  EXPECT_EQ(health.breaker, serve::BreakerState::kOpen);
+  EXPECT_GE(server.stats().breaker_trips, 2u);
+}
+
+TEST_F(ServeServerTest, HealthSnapshotTracksLifecycle) {
+  serve::QueryServer server(state_.get());
+  serve::HealthSnapshot fresh = server.health();
+  EXPECT_TRUE(fresh.accepting);
+  EXPECT_EQ(fresh.breaker, serve::BreakerState::kClosed);
+  EXPECT_EQ(fresh.queue_depth, 0u);
+  EXPECT_EQ(fresh.est_query_ms, 0.0);
+  EXPECT_FALSE(fresh.ToString().empty());
+
+  ASSERT_TRUE(server.SubmitAndWait(BackwardRequest("q")).ok());
+  EXPECT_GT(server.health().est_query_ms, 0.0);  // EWMA fed by completion
+
+  server.Shutdown();
+  EXPECT_FALSE(server.health().accepting);
+}
+
+TEST_F(ServeServerTest, DeadlineAwareShedBouncesAtAdmission) {
+  serve::ServerOptions options;
+  options.max_inflight = 1;  // every waiting query is a full wave
+  serve::QueryServer server(state_.get(), options);
+  // Feed the EWMA with one completed query so the wait estimate is real.
+  ASSERT_TRUE(server.SubmitAndWait(BackwardRequest("warmup")).ok());
+
+  // A burst of distinct (non-coalescing) queries builds a backlog; a
+  // tiny-deadline victim submitted behind it is shed at admission.
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < 24; ++i) {
+    serve::ServeRequest request = BackwardRequest("w" + std::to_string(i));
+    request.params[0].second = Value(static_cast<int64_t>(i % 5));
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  uint64_t shed_seen = 0;
+  for (int i = 0; i < 24; ++i) {
+    serve::ServeRequest victim = BackwardRequest("v" + std::to_string(i));
+    victim.deadline_ms = 1e-7;  // any backlog at all exceeds this
+    futures.push_back(server.Submit(std::move(victim)));
+    shed_seen = server.stats().shed;
+    if (shed_seen > 0) break;
+  }
+  for (auto& future : futures) future.get();
+  const serve::ServerStats stats = server.stats();
+  EXPECT_GE(stats.shed, 1u) << "no victim was shed at admission";
+  EXPECT_EQ(ResolvedResponses(stats), stats.submitted);
+}
+
+TEST_F(ServeServerTest, TimedShutdownFailsFastAndResolvesEverything) {
+  serve::ServerOptions options;
+  options.max_inflight = 1;
+  serve::QueryServer server(state_.get(), options);
+  std::vector<std::future<serve::ServeResponse>> futures;
+  for (int i = 0; i < 16; ++i) {
+    serve::ServeRequest request = BackwardRequest("q" + std::to_string(i));
+    request.params[0].second = Value(static_cast<int64_t>(i % 5));
+    futures.push_back(server.Submit(std::move(request)));
+  }
+  server.Shutdown(/*drain_timeout_ms=*/0.0);  // fail-fast immediately
+  for (auto& future : futures) {
+    serve::ServeResponse response = future.get();  // must not hang
+    if (!response.ok()) {
+      EXPECT_TRUE(response.status.IsUnavailable())
+          << response.status.ToString();
+    }
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, 16u);
+  EXPECT_EQ(ResolvedResponses(stats), stats.submitted);
 }
 
 TEST(UnionNeededRelsTest, EmptyMeansAllRelations) {

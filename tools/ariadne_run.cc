@@ -230,6 +230,14 @@ std::string StorageStatsJson(const storage::StorageStats& st) {
       .Set("flush_seconds", st.flush_seconds)
       .Set("flush_retries", st.flush_retries)
       .Set("read_retries", st.read_retries)
+      .SetRaw("flush_retries_by_thread", [&] {
+        std::vector<std::string> per_thread;
+        per_thread.reserve(st.flush_retries_by_thread.size());
+        for (uint64_t n : st.flush_retries_by_thread) {
+          per_thread.push_back(std::to_string(n));
+        }
+        return json::JsonArray(per_thread);
+      }())
       .Set("layers_quarantined", st.layers_quarantined)
       .Set("degraded", st.degraded)
       .Set("cache_hits", st.cache_hits)
@@ -251,7 +259,10 @@ std::string GraphBackendStatsJson(const GraphBackendStats& g) {
       .Set("prefetch_requests", g.prefetch_requests)
       .Set("evictions", g.evictions)
       .Set("max_partition_bytes", g.max_partition_bytes)
-      .Set("partitions", static_cast<int64_t>(g.partitions));
+      .Set("partitions", static_cast<int64_t>(g.partitions))
+      .Set("read_retries", g.read_retries)
+      .Set("fd_reopens", g.fd_reopens)
+      .Set("gave_up", g.gave_up);
   return o.Dump();
 }
 
@@ -265,7 +276,11 @@ std::string VertexStateStatsJson(const VertexStateStats& s) {
       .Set("prefetch_loads", s.prefetch_loads)
       .Set("evictions", s.evictions)
       .Set("writebacks", s.writebacks)
-      .Set("pages", static_cast<int64_t>(s.pages));
+      .Set("pages", static_cast<int64_t>(s.pages))
+      .Set("read_retries", s.read_retries)
+      .Set("write_retries", s.write_retries)
+      .Set("fd_reopens", s.fd_reopens)
+      .Set("gave_up", s.gave_up);
   return o.Dump();
 }
 
@@ -316,6 +331,21 @@ void PrintMemoryStats(const Args& args, const RunStats& stats) {
         static_cast<unsigned long long>(s.prefetch_loads),
         static_cast<unsigned long long>(s.evictions),
         static_cast<unsigned long long>(s.writebacks));
+  }
+  if (g.read_retries > 0 || g.fd_reopens > 0 || g.gave_up > 0 ||
+      s.read_retries > 0 || s.write_retries > 0 || s.fd_reopens > 0 ||
+      s.gave_up > 0) {
+    std::printf(
+        "resilience: graph %llu read retries / %llu reopen(s) / %llu gave "
+        "up; vertex state %llu read + %llu write retries / %llu reopen(s) "
+        "/ %llu gave up\n",
+        static_cast<unsigned long long>(g.read_retries),
+        static_cast<unsigned long long>(g.fd_reopens),
+        static_cast<unsigned long long>(g.gave_up),
+        static_cast<unsigned long long>(s.read_retries),
+        static_cast<unsigned long long>(s.write_retries),
+        static_cast<unsigned long long>(s.fd_reopens),
+        static_cast<unsigned long long>(s.gave_up));
   }
 }
 

@@ -15,6 +15,7 @@
 // Protocol (stdin, one request per line; EOF drains and exits):
 //   query <name> <file.pql|apt|q4|q5|q6> [param=value ...]
 //   stats                 # print aggregate server stats so far
+//   health                # print a HealthSnapshot (breaker, queue, shed)
 //
 // One result line per query is printed in submission order once all
 // requests are read:
@@ -38,6 +39,7 @@
 #include "common/string_util.h"
 #include "core/ariadne.h"
 #include "graph/paged_backend.h"
+#include "recovery/fault_injector.h"
 #include "serve/server.h"
 #include "storage/memory_budget.h"
 
@@ -54,6 +56,10 @@ struct Args {
   serve::ServerOptions server;
   std::string stats_json;
   std::string graph_backend = "memory";  ///< memory|paged
+  /// Fail-fast drain budget handed to Shutdown at EOF; < 0 = full drain.
+  double shutdown_timeout_ms = -1.0;
+  std::string inject;  ///< fault scenario DSL (see fault_injector.h)
+  uint64_t inject_seed = 1;
   /// TOTAL unified budget; the paged topology gets its slice via
   /// storage::ResolveBudgetSplit (same contract as ariadne_run).
   double mem_budget_mb = 0;
@@ -69,8 +75,12 @@ int Usage() {
                "  [--step-threads N] [--stats-json <file>]\n"
                "  [--graph-backend memory|paged] [--mem-budget-mb M] "
                "[--graph-budget-fraction F]\n"
+               "  [--step-retries N] [--breaker-threshold N] "
+               "[--breaker-cooldown-ms D] [--no-shed]\n"
+               "  [--shutdown-timeout-ms D] [--inject rule,...] "
+               "[--inject-seed S]\n"
                "reads 'query <name> <file.pql> [param=value ...]' lines "
-               "from stdin\n");
+               "from stdin ('stats'/'health' print counters)\n");
   return 2;
 }
 
@@ -99,22 +109,27 @@ Result<std::string> QueryText(const std::string& name) {
 }
 
 std::string ServerStatsLine(const serve::ServerStats& st) {
-  char buf[512];
+  char buf[640];
   std::snprintf(
       buf, sizeof(buf),
-      "server: %llu submitted, %llu rejected, %llu coalesced, "
+      "server: %llu submitted, %llu rejected, %llu shed, %llu coalesced, "
       "%llu completed, %llu failed, %llu expired; "
       "%llu shared scans over %llu query-steps "
-      "(%.0f%% shared, mean group %.1f)",
+      "(%.0f%% shared, mean group %.1f); "
+      "%llu step retries, %llu scan failures, %llu breaker trips",
       static_cast<unsigned long long>(st.submitted),
       static_cast<unsigned long long>(st.rejected),
+      static_cast<unsigned long long>(st.shed),
       static_cast<unsigned long long>(st.coalesced),
       static_cast<unsigned long long>(st.completed),
       static_cast<unsigned long long>(st.failed),
       static_cast<unsigned long long>(st.expired),
       static_cast<unsigned long long>(st.scan.scans),
       static_cast<unsigned long long>(st.query_steps),
-      100.0 * st.scan.HitRate(), st.MeanGroupSize());
+      100.0 * st.scan.HitRate(), st.MeanGroupSize(),
+      static_cast<unsigned long long>(st.step_retries),
+      static_cast<unsigned long long>(st.scan_failures),
+      static_cast<unsigned long long>(st.breaker_trips));
   return buf;
 }
 
@@ -129,6 +144,7 @@ std::string ServerStatsJson(const serve::ServerStats& st) {
   o.Set("tool", "ariadne_serve")
       .Set("submitted", st.submitted)
       .Set("rejected", st.rejected)
+      .Set("shed", st.shed)
       .Set("admitted", st.admitted)
       .Set("coalesced", st.coalesced)
       .Set("completed", st.completed)
@@ -138,6 +154,10 @@ std::string ServerStatsJson(const serve::ServerStats& st) {
       .Set("query_steps", st.query_steps)
       .Set("max_group_size", st.max_group_size)
       .Set("mean_group_size", st.MeanGroupSize())
+      .Set("step_retries", st.step_retries)
+      .Set("scan_failures", st.scan_failures)
+      .Set("breaker_trips", st.breaker_trips)
+      .Set("breaker_probes", st.breaker_probes)
       .SetRaw("shared_scan", scan.Dump());
   return o.Dump();
 }
@@ -172,6 +192,20 @@ int main(int argc, char** argv) {
       args.server.step_threads = static_cast<size_t>(std::atoll(v));
     } else if (flag == "--stats-json" && (v = next())) {
       args.stats_json = v;
+    } else if (flag == "--step-retries" && (v = next())) {
+      args.server.step_retry_attempts = std::atoi(v);
+    } else if (flag == "--breaker-threshold" && (v = next())) {
+      args.server.breaker_threshold = std::atoi(v);
+    } else if (flag == "--breaker-cooldown-ms" && (v = next())) {
+      args.server.breaker_cooldown_ms = std::atof(v);
+    } else if (flag == "--no-shed") {
+      args.server.shed_on_deadline = false;
+    } else if (flag == "--shutdown-timeout-ms" && (v = next())) {
+      args.shutdown_timeout_ms = std::atof(v);
+    } else if (flag == "--inject" && (v = next())) {
+      args.inject = v;
+    } else if (flag == "--inject-seed" && (v = next())) {
+      args.inject_seed = static_cast<uint64_t>(std::atoll(v));
     } else if (flag == "--graph-backend" && (v = next())) {
       args.graph_backend = v;
     } else if (flag == "--mem-budget-mb" && (v = next())) {
@@ -183,6 +217,15 @@ int main(int argc, char** argv) {
     }
   }
   if (args.store_path.empty()) return Usage();
+
+  if (!args.inject.empty()) {
+    Status armed =
+        recovery::FaultInjector::Global().Arm(args.inject, args.inject_seed);
+    if (!armed.ok()) {
+      std::fprintf(stderr, "inject: %s\n", armed.ToString().c_str());
+      return 2;
+    }
+  }
 
   if (args.graph_backend != "memory" && args.graph_backend != "paged") {
     std::fprintf(stderr, "graph-backend: unknown backend '%s'\n",
@@ -282,6 +325,11 @@ int main(int argc, char** argv) {
       std::fflush(stdout);
       continue;
     }
+    if (verb == "health") {
+      std::printf("health: %s\n", server.health().ToString().c_str());
+      std::fflush(stdout);
+      continue;
+    }
     if (verb != "query") {
       std::fprintf(stderr, "protocol: unknown verb '%s'\n", verb.c_str());
       continue;
@@ -321,9 +369,9 @@ int main(int argc, char** argv) {
         Submitted{std::move(name), server.Submit(std::move(request))});
   }
 
-  // EOF: drain every in-flight and queued query, then report in
-  // submission order.
-  server.Shutdown();
+  // EOF: drain every in-flight and queued query (fail-fast past
+  // --shutdown-timeout-ms), then report in submission order.
+  server.Shutdown(args.shutdown_timeout_ms);
   int failures = 0;
   for (Submitted& s : submitted) {
     serve::ServeResponse response = s.future.get();
